@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation — MOMS structure sizing: MSHR count, subentry pool size and
+ * downstream queue depth, on SCC over the RMAT-24 stand-in.
+ *
+ * This quantifies the paper's central design argument: the merging
+ * window is what matters. Shrinking the MSHR file toward the
+ * traditional 16 kills throughput; shrinking the subentry pool caps
+ * merging; shallow memory-side queues shrink the in-flight window that
+ * secondary misses accumulate against (Section II).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace gmoms;
+using namespace gmoms::bench;
+
+namespace
+{
+
+RunOutcome
+runWith(const CooGraph& g, std::uint32_t mshrs,
+        std::uint32_t subentries, std::uint32_t dram_queue)
+{
+    AccelConfig cfg;
+    cfg.num_pes = 16;
+    cfg.num_channels = 4;
+    cfg.moms = MomsConfig::twoLevel(16).withoutCacheArrays();
+    for (MomsBankConfig* b :
+         {&cfg.moms.shared_bank, &cfg.moms.private_bank}) {
+        b->num_mshrs = mshrs;
+        b->num_subentries = subentries;
+    }
+    cfg.dram.port_queue_depth = dram_queue;
+    cfg.dram.resp_queue_depth = dram_queue;
+    return runOn(g, "SCC", cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: MOMS structure sizing (SCC on RMAT-24 "
+                "stand-in, cache-less two-level 16/16) ===\n\n");
+    CooGraph g = loadDataset("24");
+
+    std::printf("-- MSHRs per bank (subentries 8192, DRAM queues 64) "
+                "--\n");
+    Table mshr_table({"MSHRs/bank", "GTEPS", "merge%", "lines from "
+                                                       "DRAM"});
+    for (std::uint32_t m : {16u, 64u, 256u, 1024u, 4096u}) {
+        RunOutcome out = runWith(g, m, 8192, 64);
+        mshr_table.addRow(
+            {std::to_string(m), fmt(out.gteps, 3),
+             fmt(100.0 * out.result.moms_secondary_misses /
+                     std::max<std::uint64_t>(out.result.moms_requests,
+                                             1),
+                 1),
+             std::to_string(out.result.moms_lines_from_mem)});
+    }
+    mshr_table.print();
+
+    std::printf("\n-- subentries per bank (MSHRs 1024, DRAM queues 64) "
+                "--\n");
+    Table sub_table({"subentries/bank", "GTEPS", "merge%"});
+    for (std::uint32_t s : {128u, 1024u, 8192u, 32768u}) {
+        RunOutcome out = runWith(g, 1024, s, 64);
+        sub_table.addRow(
+            {std::to_string(s), fmt(out.gteps, 3),
+             fmt(100.0 * out.result.moms_secondary_misses /
+                     std::max<std::uint64_t>(out.result.moms_requests,
+                                             1),
+                 1)});
+    }
+    sub_table.print();
+
+    std::printf("\n-- DRAM-side queue depth (MSHRs 1024, subentries "
+                "8192) --\n");
+    Table q_table({"queue depth", "GTEPS", "merge%"});
+    for (std::uint32_t q : {4u, 16u, 64u, 256u}) {
+        RunOutcome out = runWith(g, 1024, 8192, q);
+        q_table.addRow(
+            {std::to_string(q), fmt(out.gteps, 3),
+             fmt(100.0 * out.result.moms_secondary_misses /
+                     std::max<std::uint64_t>(out.result.moms_requests,
+                                             1),
+                 1)});
+    }
+    q_table.print();
+
+    std::printf("\nExpected: throughput and merge rate grow with every "
+                "axis and saturate — the\n'thousands of outstanding "
+                "misses' regime is what separates a MOMS from a "
+                "traditional\nnonblocking cache.\n");
+    return 0;
+}

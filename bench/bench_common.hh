@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure/table bench binaries:
+ * architecture presets (the Fig. 11 design points, scaled), dataset
+ * loading with preprocessing, run helpers and table formatting.
+ *
+ * Every bench prints the same rows/series as the corresponding paper
+ * figure or table. Absolute GTEPS are measured on the scaled synthetic
+ * stand-ins (DESIGN.md), so shapes and ratios — not absolute numbers —
+ * are the reproduction target; EXPERIMENTS.md records both.
+ */
+
+#ifndef GMOMS_BENCH_BENCH_COMMON_HH
+#define GMOMS_BENCH_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/accel/accelerator.hh"
+#include "src/accel/resource_model.hh"
+#include "src/algo/spec.hh"
+#include "src/graph/datasets.hh"
+#include "src/graph/generator.hh"
+#include "src/graph/reorder.hh"
+
+namespace gmoms::bench
+{
+
+/** A named architecture design point (Fig. 11 label convention:
+ *  "PEs/banks kind private-kB"). */
+struct ArchPreset
+{
+    std::string name;
+    AccelConfig config;
+};
+
+/** The Fig. 11 design-point set, scaled (paper sizes / 8). */
+inline std::vector<ArchPreset>
+fig11Presets(std::uint32_t channels = 4)
+{
+    auto base = [&](MomsConfig moms, std::uint32_t pes) {
+        AccelConfig cfg;
+        cfg.num_pes = pes;
+        cfg.num_channels = channels;
+        cfg.moms = moms;
+        return cfg;
+    };
+    return {
+        {"16/16 two-level", base(MomsConfig::twoLevel(16), 16)},
+        {"18/16 two-level 2k",
+         base(MomsConfig::twoLevel(16, 2048), 18)},
+        {"20/8 two-level", base(MomsConfig::twoLevel(8), 20)},
+        {"16/16 shared", base(MomsConfig::shared(16), 16)},
+        {"24/8 shared", base(MomsConfig::shared(8), 24)},
+        {"20 private 1k", base(MomsConfig::privateOnly(), 20)},
+        {"16/16 trad 2L", base(MomsConfig::traditionalTwoLevel(16), 16)},
+        {"20/8 trad 2L", base(MomsConfig::traditionalTwoLevel(8), 20)},
+    };
+}
+
+/** Iteration caps for bench runs: the paper runs PageRank for 10
+ *  iterations and the rest to convergence; benches cap work so the full
+ *  suite runs in minutes (throughput is per-edge and stable across
+ *  iterations; GMOMS_PAPER_ITERATIONS=1 restores paper settings). */
+inline std::uint32_t
+pagerankIterations()
+{
+    if (const char* env = std::getenv("GMOMS_PAPER_ITERATIONS");
+        env && env[0] == '1')
+        return 10;
+    return 2;
+}
+
+inline std::uint32_t
+convergenceCap()
+{
+    if (const char* env = std::getenv("GMOMS_PAPER_ITERATIONS");
+        env && env[0] == '1')
+        return 1000;
+    return 4;
+}
+
+/** Build a dataset stand-in with the paper-default preprocessing.
+ *  Results are memoized per (tag, prep) within the bench process. */
+inline CooGraph
+loadDataset(const std::string& tag,
+            Preprocessing prep = Preprocessing::DbgHash,
+            std::uint32_t nd_hint = 0)
+{
+    static std::map<std::pair<std::string, int>, CooGraph> cache;
+    const auto key = std::make_pair(tag, static_cast<int>(prep));
+    if (nd_hint == 0) {
+        if (auto it = cache.find(key); it != cache.end())
+            return it->second;
+    }
+    const DatasetProfile& profile = datasetByTag(tag);
+    CooGraph g = buildDataset(profile);
+    const std::uint32_t nd =
+        nd_hint ? nd_hint
+                : defaultIntervalsFor(g.numNodes(), g.numEdges()).first;
+    CooGraph out = applyPreprocessing(g, prep, nd);
+    out.name = tag;
+    if (nd_hint == 0)
+        cache.emplace(key, out);
+    return out;
+}
+
+/** Algorithm factory by name for the three paper kernels. */
+inline AlgoSpec
+makeSpec(const std::string& algo, const CooGraph& g)
+{
+    if (algo == "PageRank")
+        return AlgoSpec::pageRank(g, pagerankIterations());
+    if (algo == "SCC")
+        return AlgoSpec::scc(g.numNodes(), convergenceCap());
+    if (algo == "SSSP")
+        return AlgoSpec::sssp(0, convergenceCap());
+    throw FatalError("unknown algorithm " + algo);
+}
+
+struct RunOutcome
+{
+    RunResult result;
+    double freq_mhz = 0;
+    double gteps = 0;
+};
+
+/** Run @p cfg on @p g; weights are added when the spec needs them. */
+inline RunOutcome
+runOn(CooGraph g, const std::string& algo, AccelConfig cfg)
+{
+    AlgoSpec probe = makeSpec(algo, g);
+    if (probe.weighted && !g.weighted())
+        addRandomWeights(g, 97);
+    const AlgoSpec spec = makeSpec(algo, g);
+    auto [nd, ns] = defaultIntervalsFor(g.numNodes(), g.numEdges());
+    cfg.nd = nd;
+    cfg.ns = ns;
+    PartitionedGraph pg(g, nd, ns);
+    Accelerator accel(cfg, pg, spec);
+    RunOutcome out;
+    out.result = accel.run();
+    out.freq_mhz = modelFrequencyMhz(cfg, spec);
+    out.gteps = out.result.gteps(out.freq_mhz);
+    return out;
+}
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Print a row-major table: header then one line per row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> width(header_.size());
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            width[c] = header_[c].size();
+        for (const auto& row : rows_)
+            for (std::size_t c = 0; c < row.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+        auto line = [&](const std::vector<std::string>& cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            cells[c].c_str());
+            std::printf("\n");
+        };
+        line(header_);
+        for (const auto& row : rows_)
+            line(row);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting into std::string. */
+inline std::string
+fmt(double v, int precision = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace gmoms::bench
+
+#endif // GMOMS_BENCH_BENCH_COMMON_HH

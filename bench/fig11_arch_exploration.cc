@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 11 — Throughput on PageRank, SCC and SSSP for different
+ * architectures (shared / private / two-level MOMS and traditional
+ * caches), across the Table II benchmark suite.
+ *
+ * Paper expectations reproduced here (shape, not absolute GTEPS):
+ *  - two-level architectures achieve the highest geometric mean;
+ *  - 16-bank variants beat more-PEs/8-bank variants (bank conflicts);
+ *  - shared-only MOMS trails (no private filtering);
+ *  - private-only wins on high-locality web graphs (IT/SK/UK);
+ *  - SCC achieves the highest throughput of the three algorithms;
+ *  - design points modelled under 185 MHz are flagged as discarded.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace gmoms;
+using namespace gmoms::bench;
+
+int
+main()
+{
+    const std::vector<std::string> algos = {"PageRank", "SCC", "SSSP"};
+    const std::vector<std::string> tags = benchDatasetTags();
+    const std::vector<ArchPreset> presets = fig11Presets();
+
+    std::printf("=== Fig. 11: throughput (GTEPS) per architecture ===\n");
+    std::printf("datasets: scaled Table II stand-ins; "
+                "set GMOMS_FULL_DATASETS=1 for all 12\n\n");
+
+    for (const std::string& algo : algos) {
+        std::printf("--- %s ---\n", algo.c_str());
+        std::vector<std::string> header = {"architecture"};
+        for (const auto& tag : tags)
+            header.push_back(tag);
+        header.push_back("geomean");
+        header.push_back("fmax");
+        Table table(header);
+
+        for (const ArchPreset& preset : presets) {
+            std::vector<std::string> row = {preset.name};
+            std::vector<double> gteps;
+            double fmax = 0;
+            for (const std::string& tag : tags) {
+                CooGraph g = loadDataset(tag);
+                RunOutcome out = runOn(std::move(g), algo,
+                                       preset.config);
+                fmax = out.freq_mhz;
+                gteps.push_back(out.gteps);
+                row.push_back(fmt(out.gteps, 3));
+            }
+            row.push_back(fmt(geomean(gteps), 3));
+            row.push_back(fmt(fmax, 0) + "MHz" +
+                          (fmax < kMinFrequencyMhz ? " (discarded)"
+                                                   : ""));
+            table.addRow(row);
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 15 — SCC throughput of the 20/8 two-level MOMS and the 20/8
+ * two-level traditional cache, with and without the private and/or
+ * shared cache arrays.
+ *
+ * Paper claims: removing every cache array costs the traditional cache
+ * ~2.2x but the MOMS only ~10% (geomean) — MSHRs replace the cache
+ * array; the cache-less MOMS roughly matches the full traditional
+ * cache while using fewer memory bits.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace gmoms;
+using namespace gmoms::bench;
+
+namespace
+{
+
+struct Variant
+{
+    const char* name;
+    bool private_cache;
+    bool shared_cache;
+};
+
+AccelConfig
+makeConfig(bool traditional, const Variant& v)
+{
+    AccelConfig cfg;
+    cfg.num_pes = 20;
+    cfg.num_channels = 4;
+    cfg.moms = traditional ? MomsConfig::traditionalTwoLevel(8)
+                           : MomsConfig::twoLevel(8, 1024);
+    if (!v.private_cache)
+        cfg.moms = cfg.moms.withPrivateCache(0);
+    if (!v.shared_cache)
+        cfg.moms = cfg.moms.withSharedCache(0);
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 15: SCC throughput, 20/8 two-level, with and "
+                "without cache arrays ===\n\n");
+
+    const std::vector<Variant> variants = {
+        {"full", true, true},
+        {"no-private", false, true},
+        {"no-shared", true, false},
+        {"cache-less", false, false},
+    };
+
+    for (bool traditional : {false, true}) {
+        std::printf("--- %s ---\n",
+                    traditional ? "traditional 20/8" : "MOMS 20/8");
+        std::vector<std::string> header = {"variant"};
+        for (const auto& tag : benchDatasetTags())
+            header.push_back(tag);
+        header.push_back("geomean");
+        Table table(header);
+
+        double full_geomean = 0, cacheless_geomean = 0;
+        for (const Variant& v : variants) {
+            std::vector<std::string> row = {v.name};
+            std::vector<double> gteps;
+            for (const std::string& tag : benchDatasetTags()) {
+                CooGraph g = loadDataset(tag);
+                RunOutcome out = runOn(std::move(g), "SCC",
+                                       makeConfig(traditional, v));
+                gteps.push_back(out.gteps);
+                row.push_back(fmt(out.gteps, 3));
+            }
+            const double gm = geomean(gteps);
+            row.push_back(fmt(gm, 3));
+            table.addRow(row);
+            if (std::string(v.name) == "full")
+                full_geomean = gm;
+            if (std::string(v.name) == "cache-less")
+                cacheless_geomean = gm;
+        }
+        table.print();
+        std::printf("full / cache-less throughput ratio: %.2fx "
+                    "(paper: traditional ~2.2x, MOMS ~1.1x)\n\n",
+                    full_geomean / cacheless_geomean);
+    }
+    return 0;
+}

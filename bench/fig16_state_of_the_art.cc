@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 16 — Comparison with the state of the art.
+ *
+ * What can be re-measured here (DESIGN.md substitutions):
+ *  - "this work, generic":   best geomean architecture (16/16 2-level),
+ *  - "this work, specialized": best architecture per dataset,
+ *  - CPU baseline:           our measured multithreaded edge-centric
+ *                            implementation (Ligra/GraphMat stand-in),
+ *  - FabGraph:               the analytic model (as in the paper).
+ * GPU (Gunrock) cannot be re-measured without a V100; the paper's
+ * published geomean ratios are quoted for context.
+ */
+
+#include <thread>
+
+#include "bench/bench_common.hh"
+#include "src/baseline/cpu_baseline.hh"
+#include "src/baseline/fabgraph_model.hh"
+
+using namespace gmoms;
+using namespace gmoms::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 16: comparison with the state of the art "
+                "===\n");
+    std::printf("(simulated accelerator GTEPS at modelled fmax vs "
+                "measured host-CPU GTEPS;\ncross-platform absolute "
+                "numbers are indicative — see EXPERIMENTS.md)\n\n");
+
+    const std::uint32_t threads = std::max(
+        1u, std::thread::hardware_concurrency());
+    auto presets = fig11Presets();
+
+    for (const std::string& algo :
+         {std::string("PageRank"), std::string("SCC"),
+          std::string("SSSP")}) {
+        std::printf("--- %s (GTEPS) ---\n", algo.c_str());
+        Table table({"dataset", "this-generic", "this-specialized",
+                     "best-arch", "CPU", "FabGraph(PR)"});
+        for (const std::string& tag : benchDatasetTags()) {
+            // Generic = the best-geomean preset (16/16 two-level).
+            CooGraph g = loadDataset(tag);
+            RunOutcome generic =
+                runOn(g, algo, presets[0].config);
+            // Specialized = best preset for this dataset, searched over
+            // a representative subset to bound runtime.
+            double best = generic.gteps;
+            std::string best_name = presets[0].name;
+            for (std::size_t i : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{5}, std::size_t{6}}) {
+                RunOutcome out = runOn(g, algo, presets[i].config);
+                if (out.gteps > best) {
+                    best = out.gteps;
+                    best_name = presets[i].name;
+                }
+            }
+            // CPU baseline (measured wall time on this host).
+            CpuResult cpu;
+            if (algo == "PageRank") {
+                cpu = cpuPageRank(g, pagerankIterations(), threads);
+            } else if (algo == "SCC") {
+                cpu = cpuScc(g, threads);
+            } else {
+                CooGraph wg = g;
+                addRandomWeights(wg, 97);
+                cpu = cpuSssp(wg, 0, threads);
+            }
+            std::string fabgraph = "-";
+            if (algo == "PageRank") {
+                FabGraphConfig fcfg;
+                fcfg.l2_capacity_nodes = 4'000'000 / 256;
+                fcfg.l1_tile_nodes = 32768 / 256;
+                fabgraph = fmt(modelFabGraph(g, fcfg).gteps, 3);
+            }
+            table.addRow({tag, fmt(generic.gteps, 3), fmt(best, 3),
+                          best_name, fmt(cpu.gteps(), 3), fabgraph});
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf("Paper-published geomean ratios for context (not "
+                "re-measured here):\n"
+                "  PageRank: generic vs Ligra 2.1x, FabGraph 1.4x, "
+                "Gunrock 2.1x; specialized 4.5x/3.0x/4.5x\n"
+                "  SCC+SSSP: 1.1-3.5x (generic) / 2.3-5.8x "
+                "(specialized) more bandwidth-efficient than CPUs\n"
+                "  Gunrock (V100, 16 GB) runs only the five smallest "
+                "graphs; this system runs all but FR/MP at 16 GB.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 17 — Relative resource utilization (LUT/FF/BRAM/URAM/DSP) of the
+ * top architectures per application, from the calibrated resource
+ * model (DESIGN.md substitution: no place-and-route available).
+ *
+ * Paper claims: designs are mostly limited by LUTs (interconnect) and
+ * BRAM; DSPs are underutilized even for floating-point PageRank;
+ * modelled frequencies land in the 196-227 MHz band.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace gmoms;
+using namespace gmoms::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 17: resource utilization of the top designs "
+                "===\n\n");
+
+    struct Design
+    {
+        const char* algo;
+        ArchPreset preset;
+    };
+    auto presets = fig11Presets();
+    const std::vector<Design> designs = {
+        {"PageRank", presets[0]}, {"PageRank", presets[1]},
+        {"SCC", presets[0]},      {"SCC", presets[2]},
+        {"SSSP", presets[0]},     {"SSSP", presets[1]},
+    };
+
+    Table table({"design", "algo", "LUT%", "FF%", "BRAM%", "URAM%",
+                 "DSP%", "peakSLR%", "fmax"});
+    for (const Design& d : designs) {
+        // Build a representative spec (sizes only matter for PEs).
+        CooGraph g = chain(1000);
+        AlgoSpec spec = makeSpec(d.algo, g);
+        AccelConfig cfg = d.preset.config;
+        cfg.nd = 32768 / 256;  // paper-equivalent interval scaling
+        ResourceBreakdown r = estimateResources(cfg, spec);
+        const double f = modelFrequencyMhz(cfg, spec);
+        table.addRow({d.preset.name, d.algo,
+                      fmt(r.lut_util * 100, 1), fmt(r.ff_util * 100, 1),
+                      fmt(r.bram_util * 100, 1),
+                      fmt(r.uram_util * 100, 1),
+                      fmt(r.dsp_util * 100, 1),
+                      fmt(r.peak_slr_lut_util * 100, 1),
+                      fmt(f, 0) + "MHz"});
+    }
+    table.print();
+
+    std::printf("\nBreakdown for the 16/16 two-level PageRank design "
+                "(LUTs by component):\n");
+    CooGraph g = chain(1000);
+    AlgoSpec pr = makeSpec("PageRank", g);
+    AccelConfig cfg = presets[0].config;
+    ResourceBreakdown r = estimateResources(cfg, pr);
+    Table parts({"component", "LUTs", "BRAM36", "URAM"});
+    parts.addRow({"PEs", fmt(r.pes.luts, 0), fmt(r.pes.bram36, 0),
+                  fmt(r.pes.uram, 0)});
+    parts.addRow({"MOMS", fmt(r.moms.luts, 0), fmt(r.moms.bram36, 0),
+                  fmt(r.moms.uram, 0)});
+    parts.addRow({"interconnect", fmt(r.interconnect.luts, 0),
+                  fmt(r.interconnect.bram36, 0),
+                  fmt(r.interconnect.uram, 0)});
+    parts.print();
+    std::printf("\nExpected shape (Fig. 17): LUTs dominated by the "
+                "interconnect; BRAM/URAM by PEs+MOMS; DSP low.\n");
+    return 0;
+}

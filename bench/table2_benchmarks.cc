@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table II — Benchmark properties: the paper's N and M next to the
+ * synthetic stand-ins actually used (scaled 1/256 with an edge cap;
+ * see DESIGN.md), with measured structural statistics.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/graph/graph_stats.hh"
+
+using namespace gmoms;
+using namespace gmoms::bench;
+
+namespace
+{
+
+std::string
+human(double v)
+{
+    char buf[32];
+    if (v >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2fB", v / 1e9);
+    else if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table II: benchmark properties ===\n\n");
+    Table table({"tag", "benchmark", "paper N", "paper M", "standin N",
+                 "standin M", "avg deg", "top1% edges", "locality"});
+    for (const DatasetProfile& p : table2Profiles()) {
+        CooGraph g = buildDataset(p);
+        GraphStats s = computeGraphStats(g);
+        table.addRow({p.tag, p.full_name,
+                      human(static_cast<double>(p.paper_nodes)),
+                      human(static_cast<double>(p.paper_edges)),
+                      human(static_cast<double>(s.num_nodes)),
+                      human(static_cast<double>(s.num_edges)),
+                      fmt(s.avg_out_degree, 1),
+                      fmt(s.top1pct_edge_share * 100, 1) + "%",
+                      fmt(s.local_edge_fraction * 100, 1) + "%"});
+    }
+    table.print();
+    std::printf("\n'top1%% edges' (degree skew) is high on every "
+                "stand-in as in the real datasets;\n'locality' (edges "
+                "within +-4096 labels) is high for the web graphs, "
+                "whose native\nlabeling preserves communities, and low "
+                "for the shuffled social/RMAT labelings.\n");
+    return 0;
+}

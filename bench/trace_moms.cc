@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Standalone MOMS characterization on synthetic traces — the
+ * methodology of the authors' FPGA'19 MOMS paper, which Section II of
+ * the ISCA'21 paper builds on. Sweeps access skew and organization,
+ * reporting sustained requests/cycle, merge rate and DRAM lines.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/cache/trace_harness.hh"
+
+using namespace gmoms;
+using namespace gmoms::bench;
+
+int
+main()
+{
+    std::printf("=== MOMS characterization on synthetic traces ===\n");
+    std::printf("(8 clients, 2 channels, 1M-word footprint; "
+                "req/cyc is the sustained aggregate rate)\n\n");
+
+    TraceConfig cfg;
+    cfg.num_clients = 8;
+    cfg.num_channels = 2;
+    cfg.requests_per_client = 8000;
+    cfg.footprint_words = 1 << 20;
+
+    struct Org
+    {
+        const char* name;
+        MomsConfig config;
+    };
+    const Org orgs[] = {
+        {"two-level MOMS", MomsConfig::twoLevel(4)},
+        {"shared MOMS", MomsConfig::shared(4)},
+        {"private MOMS", MomsConfig::privateOnly()},
+        {"traditional", MomsConfig::traditionalShared(4)},
+    };
+
+    for (double alpha : {0.0, 0.6, 0.9, 1.2}) {
+        std::printf("--- access skew: %s (alpha=%.1f) ---\n",
+                    alpha == 0.0 ? "uniform" : "zipf", alpha);
+        Table table({"organization", "req/cyc", "merge%", "hit%",
+                     "DRAM lines"});
+        for (const Org& org : orgs) {
+            auto pattern =
+                alpha == 0.0
+                    ? patterns::uniform(cfg.footprint_words)
+                    : patterns::zipf(cfg.footprint_words, alpha);
+            TraceResult r = replayTrace(org.config, cfg, pattern);
+            table.addRow({org.name, fmt(r.requestsPerCycle(), 3),
+                          fmt(100 * r.mergeRate(), 1),
+                          fmt(100 * r.hitRate(), 1),
+                          std::to_string(r.lines_from_mem)});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("Expected: at higher skew the MOMS organizations pull "
+                "ahead of the traditional cache\nthrough merging, "
+                "without needing cache hits (FPGA'19 / Section II).\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Architecture explorer: a small CLI that sweeps MOMS organizations
+ * for a workload you describe and reports throughput, frequency,
+ * resources and power per design point — the "reprogrammability
+ * dividend" of Section V-F's specialized configurations, as a tool.
+ *
+ * Usage:
+ *   example_arch_explorer [algo] [dataset-tag] [--json]
+ *     algo:    PageRank | SCC | SSSP        (default SCC)
+ *     dataset: WT DB UK IT SK MP RV FR WB 24 25 26  (default 24)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "src/accel/accelerator.hh"
+#include "src/accel/resource_model.hh"
+#include "src/algo/spec.hh"
+#include "src/graph/datasets.hh"
+#include "src/graph/generator.hh"
+#include "src/graph/reorder.hh"
+#include "src/sim/report.hh"
+
+using namespace gmoms;
+
+namespace
+{
+
+AlgoSpec
+makeSpec(const std::string& algo, const CooGraph& g)
+{
+    if (algo == "PageRank")
+        return AlgoSpec::pageRank(g, 3);
+    if (algo == "SSSP")
+        return AlgoSpec::sssp(0, 4);
+    return AlgoSpec::scc(g.numNodes(), 4);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string algo = argc > 1 ? argv[1] : "SCC";
+    std::string tag = argc > 2 ? argv[2] : "24";
+    const bool json = argc > 3 && std::strcmp(argv[3], "--json") == 0;
+
+    CooGraph g = buildDataset(datasetByTag(tag));
+    auto [nd, ns] = defaultIntervalsFor(g.numNodes(), g.numEdges());
+    g = applyPreprocessing(g, Preprocessing::DbgHash, nd);
+    if (algo == "SSSP")
+        addRandomWeights(g, 7);
+    PartitionedGraph pg(g, nd, ns);
+    AlgoSpec spec = makeSpec(algo, g);
+
+    struct Candidate
+    {
+        const char* name;
+        std::uint32_t pes;
+        MomsConfig moms;
+    };
+    const Candidate candidates[] = {
+        {"16/16 two-level", 16, MomsConfig::twoLevel(16)},
+        {"18/16 two-level 2k", 18, MomsConfig::twoLevel(16, 2048)},
+        {"20/8 two-level", 20, MomsConfig::twoLevel(8)},
+        {"16/16 shared", 16, MomsConfig::shared(16)},
+        {"20 private", 20, MomsConfig::privateOnly()},
+        {"16/16 traditional", 16, MomsConfig::traditionalTwoLevel(16)},
+    };
+
+    if (!json)
+        std::printf("exploring %zu design points for %s on '%s' "
+                    "(%u nodes, %llu edges)\n\n",
+                    std::size(candidates), algo.c_str(), tag.c_str(),
+                    g.numNodes(),
+                    static_cast<unsigned long long>(g.numEdges()));
+
+    double best = 0;
+    const char* best_name = "";
+    for (const Candidate& cand : candidates) {
+        AccelConfig cfg;
+        cfg.num_pes = cand.pes;
+        cfg.num_channels = 4;
+        cfg.moms = cand.moms;
+        cfg.nd = nd;
+        cfg.ns = ns;
+        Accelerator accel(cfg, pg, spec);
+        RunResult res = accel.run();
+        const double fmax = modelFrequencyMhz(cfg, spec);
+        const double gteps = res.gteps(fmax);
+        const double watts = modelPowerWatts(cfg, spec);
+        const ResourceBreakdown rb = estimateResources(cfg, spec);
+
+        if (json) {
+            JsonReport report;
+            report.set("design", std::string(cand.name))
+                .set("algo", algo)
+                .set("dataset", tag)
+                .set("gteps", gteps)
+                .set("fmax_mhz", fmax)
+                .set("power_w", watts)
+                .set("lut_util", rb.lut_util)
+                .set("cycles", res.cycles)
+                .set("hit_rate", res.moms_hit_rate)
+                .set("dram_bytes_read", res.dram_bytes_read)
+                .set("discarded", fmax < kMinFrequencyMhz);
+            std::cout << report.str() << "\n";
+        } else {
+            std::printf("  %-20s %6.3f GTEPS  %3.0f MHz  %4.1f W  "
+                        "LUT %4.1f%%  %6.2f MTEPS/W\n",
+                        cand.name, gteps, fmax, watts,
+                        100 * rb.lut_util, 1000.0 * gteps / watts);
+        }
+        if (gteps > best) {
+            best = gteps;
+            best_name = cand.name;
+        }
+    }
+    if (!json)
+        std::printf("\nbest design for this workload: %s "
+                    "(%.3f GTEPS)\n",
+                    best_name, best);
+    return 0;
+}

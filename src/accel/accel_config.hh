@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level configuration of the graph accelerator.
+ */
+
+#ifndef GMOMS_ACCEL_ACCEL_CONFIG_HH
+#define GMOMS_ACCEL_ACCEL_CONFIG_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <string>
+
+#include "src/cache/moms_system.hh"
+#include "src/mem/dram_config.hh"
+
+namespace gmoms
+{
+
+struct AccelConfig
+{
+    std::uint32_t num_pes = 16;
+    std::uint32_t num_channels = 4;
+    MomsConfig moms = MomsConfig::twoLevel(16);
+    DramConfig dram;
+
+    /**
+     * Destination/source interval sizes. The paper holds 32,768
+     * destination nodes per PE in URAM with 16-bit source offsets
+     * (Ns = 65,536); our datasets are scaled ~16-4096x, so the default
+     * intervals scale too (DESIGN.md section 5). Ns must be a multiple
+     * of Nd so destination intervals never straddle source intervals.
+     */
+    std::uint32_t nd = 2048;
+    std::uint32_t ns = 4096;
+
+    /** Maximum simultaneous threads (outstanding source reads) per PE;
+     *  the paper's SSSP state memory has 8,192 slots, scaled here. */
+    std::uint32_t max_threads = 1024;
+
+    /** Edge-stream DMA burst size in 64 B lines and the number of edge
+     *  bursts a PE keeps in flight (Section IV-D). */
+    std::uint32_t edge_burst_lines = 8;
+    std::uint32_t max_edge_bursts = 4;
+
+    /** Node-array DMA burst size in lines (32-beat 512-bit bursts). */
+    std::uint32_t init_burst_lines = 32;
+
+    /** Nodes consumed/produced per cycle during init/writeback. */
+    std::uint32_t nodes_per_cycle = 4;
+
+    /** Safety limit for one run. */
+    Cycle max_cycles = 500'000'000;
+
+    /** Paper-style label, e.g. "16/16 moms 0k @4ch". */
+    std::string
+    label() const
+    {
+        return moms.label(num_pes) + " @" +
+               std::to_string(num_channels) + "ch";
+    }
+};
+
+/**
+ * Default interval sizes for a dataset of @p num_nodes nodes: aim for
+ * many more jobs than PEs (the paper has 1-2 orders of magnitude more)
+ * while respecting the 15/16-bit offset limits, with Ns = 2 Nd as in
+ * the paper (65,536 / 32,768).
+ */
+inline std::pair<std::uint32_t, std::uint32_t>
+defaultIntervals(NodeId num_nodes, std::uint32_t target_jobs = 128)
+{
+    std::uint64_t nd = ceilDiv(num_nodes, target_jobs);
+    nd = std::min<std::uint64_t>(std::max<std::uint64_t>(nd, 128),
+                                 32768);
+    const std::uint64_t ns = std::min<std::uint64_t>(2 * nd, 65536);
+    return {static_cast<std::uint32_t>(nd),
+            static_cast<std::uint32_t>(ns)};
+}
+
+/**
+ * Edge-aware variant: picks the job count from the edge budget so that
+ * per-job fixed costs (pointer fetch, init, writeback) stay small next
+ * to the edge work even on the edge-capped dataset stand-ins.
+ */
+inline std::pair<std::uint32_t, std::uint32_t>
+defaultIntervalsFor(NodeId num_nodes, EdgeId num_edges)
+{
+    const std::uint64_t target_jobs = std::clamp<std::uint64_t>(
+        num_edges / 6000, 48, 2048);
+    return defaultIntervals(num_nodes,
+                            static_cast<std::uint32_t>(target_jobs));
+}
+
+} // namespace gmoms
+
+#endif // GMOMS_ACCEL_ACCEL_CONFIG_HH

@@ -1,0 +1,123 @@
+#include "src/accel/accelerator.hh"
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+Accelerator::Accelerator(const AccelConfig& cfg,
+                         const PartitionedGraph& pg, const AlgoSpec& spec)
+    : cfg_(cfg), pg_(&pg), spec_(spec)
+{
+    if (cfg_.nd != pg.nd() || cfg_.ns != pg.ns()) {
+        // Follow the partition geometry: the PE BRAM must fit it.
+        cfg_.nd = pg.nd();
+        cfg_.ns = pg.ns();
+    }
+    if (spec_.weighted != pg.weighted())
+        fatal("algorithm/graph weighted mismatch");
+
+    // Memory ports: one DMA port per PE, then the MOMS's ports.
+    const std::uint32_t dma_ports = cfg_.num_pes;
+    const std::uint32_t moms_ports =
+        cfg_.moms.memPortsNeeded(cfg_.num_pes);
+    mem_ = std::make_unique<MemorySystem>(
+        engine_, cfg_.dram, cfg_.num_channels, dma_ports + moms_ports);
+
+    // Build the DRAM image (Fig. 4).
+    GraphLayout::Options opts;
+    opts.has_const = spec_.has_const;
+    opts.synchronous = spec_.synchronous;
+    opts.init_value = [this](NodeId n) { return spec_.initialValue(n); };
+    if (spec_.has_const)
+        opts.const_value = [this](NodeId n) {
+            return spec_.constValue(n);
+        };
+    layout_ = std::make_unique<GraphLayout>(pg, opts);
+    layout_->build(pg, mem_->store());
+
+    moms_ = std::make_unique<MomsSystem>(engine_, *mem_, dma_ports,
+                                         cfg_.num_pes, cfg_.moms);
+    sched_ = std::make_unique<Scheduler>(pg, *layout_);
+
+    for (std::uint32_t p = 0; p < cfg_.num_pes; ++p) {
+        pes_.push_back(std::make_unique<Pe>(
+            engine_, "pe" + std::to_string(p), p, cfg_, spec_, *sched_,
+            mem_->port(p), moms_->pePort(p), mem_->store()));
+        engine_.add(pes_.back().get());
+    }
+}
+
+Accelerator::~Accelerator() = default;
+
+bool
+Accelerator::updateActiveFlags()
+{
+    // active_srcs_next[s] = true iff any destination interval that
+    // overlaps source interval s was updated this iteration.
+    std::vector<bool> active(pg_->qs(), false);
+    const auto& updated = sched_->updatedFlags();
+    bool any = false;
+    for (std::uint32_t d = 0; d < pg_->qd(); ++d) {
+        if (!updated[d])
+            continue;
+        any = true;
+        const NodeId base = pg_->dstIntervalBase(d);
+        const NodeId last = base + pg_->dstIntervalNodes(d) - 1;
+        for (std::uint32_t s = base / pg_->ns(); s <= last / pg_->ns();
+             ++s)
+            active[s] = true;
+    }
+    for (std::uint32_t s = 0; s < pg_->qs(); ++s)
+        for (std::uint32_t d = 0; d < pg_->qd(); ++d)
+            layout_->setActive(mem_->store(), s, d, active[s]);
+    return any;
+}
+
+RunResult
+Accelerator::run()
+{
+    RunResult result;
+    bool cont = true;
+
+    for (std::uint32_t iter = 0;
+         iter < spec_.max_iterations && cont; ++iter) {
+        sched_->startIteration();
+        const bool done = engine_.runUntil(
+            [this] { return sched_->iterationDone(); }, cfg_.max_cycles);
+        if (!done)
+            fatal("accelerator exceeded the cycle budget; deadlock or "
+                  "undersized budget");
+        ++result.iterations;
+
+        cont = updateActiveFlags();
+        if (spec_.synchronous)
+            layout_->swapInOut();
+        // Node arrays changed (swap or in-place update): cached source
+        // values are stale.
+        moms_->invalidateCaches();
+    }
+
+    // Let the queues fully drain (writes are already acked, but DRAM
+    // response queues may hold stale timing tokens).
+    engine_.runUntil([this] { return mem_->idle() && moms_->idle(); },
+                     100000);
+
+    result.cycles = engine_.now();
+    result.dram_bytes_read = mem_->totalBytesRead();
+    result.dram_bytes_written = mem_->totalBytesWritten();
+    result.moms_hit_rate = moms_->hitRate();
+    result.moms_requests = moms_->totalRequests();
+    result.moms_secondary_misses = moms_->totalSecondaryMisses();
+    result.moms_lines_from_mem = moms_->totalLinesFromMem();
+    for (const auto& pe : pes_) {
+        result.edges_processed += pe->stats().edges_processed;
+        result.pe_raw_stalls += pe->stats().raw_stalls;
+    }
+    result.raw_values.resize(pg_->numNodes());
+    for (NodeId n = 0; n < pg_->numNodes(); ++n)
+        result.raw_values[n] = mem_->store().read32(layout_->vInAddr(n));
+    return result;
+}
+
+} // namespace gmoms

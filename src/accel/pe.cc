@@ -1,0 +1,410 @@
+#include "src/accel/pe.hh"
+
+#include "src/graph/layout.hh"
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+Pe::Pe(const Engine& engine, std::string name, std::uint32_t id,
+       const AccelConfig& cfg, const AlgoSpec& spec, Scheduler& sched,
+       MemPort dma, SourcePort& moms, BackingStore& store)
+    : Component(std::move(name)), engine_(engine), id_(id), cfg_(&cfg),
+      spec_(&spec), sched_(&sched), dma_(dma), moms_(&moms),
+      store_(&store)
+{
+    bram_.resize(cfg.nd);
+    vconst_tmp_.resize(cfg.nd);
+    if (spec.weighted) {
+        // Fig. 10a: free-ID queue plus state memory.
+        free_ids_.reserve(cfg.max_threads);
+        for (std::uint32_t i = 0; i < cfg.max_threads; ++i)
+            free_ids_.push_back(cfg.max_threads - 1 - i);
+        thread_state_.resize(cfg.max_threads);
+    }
+}
+
+void
+Pe::tick()
+{
+    drainDmaResponses();
+
+    switch (phase_) {
+      case Phase::Idle:
+        if (std::optional<Job> job = sched_->pull()) {
+            startJob(*job);
+            ++stats_.busy_cycles;
+        } else {
+            ++stats_.idle_cycles;
+        }
+        break;
+      case Phase::FetchPtrs:
+        tickFetchPtrs();
+        ++stats_.busy_cycles;
+        break;
+      case Phase::Init:
+        tickInit();
+        ++stats_.busy_cycles;
+        break;
+      case Phase::Stream:
+        tickStream();
+        ++stats_.busy_cycles;
+        break;
+      case Phase::Writeback:
+        tickWriteback();
+        ++stats_.busy_cycles;
+        break;
+    }
+}
+
+void
+Pe::drainDmaResponses()
+{
+    while (std::optional<MemResp> resp = dma_.receive()) {
+        switch (dmaKind(resp->tag)) {
+          case DmaKind::Ptr:
+            ptr_bytes_received_ += resp->bytes;
+            break;
+          case DmaKind::InitConst:
+          case DmaKind::InitIn:
+            init_bytes_received_ += resp->bytes;
+            init_burst_outstanding_ = false;
+            break;
+          case DmaKind::Edge: {
+            const std::uint64_t seq = resp->tag & 0xffffffffffffffull;
+            auto it = edge_pending_.find(seq);
+            if (it == edge_pending_.end())
+                panic("edge burst response with unknown sequence");
+            decode_q_.push_back(it->second);
+            edge_pending_.erase(it);
+            --edge_bursts_inflight_;
+            break;
+          }
+          case DmaKind::Write:
+            --wb_writes_unacked_;
+            break;
+        }
+    }
+}
+
+void
+Pe::startJob(const Job& job)
+{
+    job_ = job;
+    updated_ = false;
+    phase_ = Phase::FetchPtrs;
+    ptr_bytes_requested_ = 0;
+    ptr_bytes_received_ = 0;
+}
+
+void
+Pe::tickFetchPtrs()
+{
+    const std::uint64_t total = 8ull * job_.qs;
+    while (ptr_bytes_requested_ < total) {
+        const Addr a = job_.ptr_base + ptr_bytes_requested_;
+        const std::uint64_t chunk =
+            std::min(total - ptr_bytes_requested_,
+                     kInterleaveBytes - a % kInterleaveBytes);
+        if (!dma_.send(MemReq{a, static_cast<std::uint32_t>(chunk),
+                              dmaTag(DmaKind::Ptr, 0), false}))
+            break;
+        ptr_bytes_requested_ += chunk;
+    }
+    if (ptr_bytes_received_ < total)
+        return;
+
+    // All pointers arrived: collect active, non-empty shards.
+    shards_.clear();
+    for (std::uint32_t s = 0; s < job_.qs; ++s) {
+        const std::uint64_t p = store_->read64(job_.ptr_base + 8ull * s);
+        if (!edgeptr::isActive(p))
+            continue;  // Template 1 line 10: skip inactive sources
+        if (edgeptr::sizeWords(p) == 0)
+            continue;
+        shards_.push_back(ShardCursor{s, 4 * edgeptr::startWord(p),
+                                      edgeptr::sizeWords(p)});
+    }
+
+    // Arm node initialization: V_const first (if present), then V_in.
+    init_const_stage_ = spec_->has_const;
+    init_region_base_ =
+        init_const_stage_ ? job_.v_const_base : job_.v_in_base;
+    init_bytes_total_ = 4ull * job_.count;
+    init_bytes_requested_ = 0;
+    init_bytes_received_ = 0;
+    init_nodes_consumed_ = 0;
+    init_burst_outstanding_ = false;
+    phase_ = Phase::Init;
+}
+
+void
+Pe::tickInit()
+{
+    // Single outstanding init burst (in-order delivery, Section IV-D).
+    if (!init_burst_outstanding_ &&
+        init_bytes_requested_ < init_bytes_total_) {
+        const Addr a = init_region_base_ + init_bytes_requested_;
+        const std::uint64_t chunk = std::min(
+            {static_cast<std::uint64_t>(cfg_->init_burst_lines) *
+                 kLineBytes,
+             init_bytes_total_ - init_bytes_requested_,
+             kInterleaveBytes - a % kInterleaveBytes});
+        const DmaKind kind = init_const_stage_ ? DmaKind::InitConst
+                                               : DmaKind::InitIn;
+        if (dma_.send(MemReq{a, static_cast<std::uint32_t>(chunk),
+                             dmaTag(kind, 0), false})) {
+            init_bytes_requested_ += chunk;
+            init_burst_outstanding_ = true;
+        }
+    }
+
+    // Consume up to nodes_per_cycle received node values.
+    std::uint32_t budget = cfg_->nodes_per_cycle;
+    while (budget > 0 &&
+           4 * (init_nodes_consumed_ + 1) <= init_bytes_received_) {
+        const std::uint64_t i = init_nodes_consumed_;
+        const std::uint32_t raw =
+            store_->read32(init_region_base_ + 4 * i);
+        if (init_const_stage_) {
+            vconst_tmp_[i] = raw;
+        } else {
+            bram_[i] = spec_->init(
+                spec_->has_const ? vconst_tmp_[i] : 0, raw);
+        }
+        ++init_nodes_consumed_;
+        --budget;
+    }
+
+    if (init_nodes_consumed_ < job_.count)
+        return;
+
+    if (init_const_stage_) {
+        // Switch to the V_in stage.
+        init_const_stage_ = false;
+        init_region_base_ = job_.v_in_base;
+        init_bytes_requested_ = 0;
+        init_bytes_received_ = 0;
+        init_nodes_consumed_ = 0;
+        init_burst_outstanding_ = false;
+        return;
+    }
+    phase_ = Phase::Stream;
+}
+
+bool
+Pe::rawHazard(std::uint32_t dst_off) const
+{
+    if (spec_->gather_latency <= 1)
+        return false;
+    const Cycle now = engine_.now();
+    for (const auto& [off, retire] : hazard_)
+        if (off == dst_off && retire > now)
+            return true;
+    return false;
+}
+
+void
+Pe::executeGather(std::uint32_t dst_off, std::uint32_t src_val,
+                  std::uint32_t weight)
+{
+    const std::uint64_t old = bram_[dst_off];
+    const std::uint64_t next = spec_->gather(src_val, old, weight);
+    if (next != old || spec_->always_active)
+        updated_ = true;
+    bram_[dst_off] = next;
+    ++stats_.edges_processed;
+    if (spec_->gather_latency > 1) {
+        // Record the hazard window; recycle expired slots.
+        const Cycle retire = engine_.now() + spec_->gather_latency;
+        for (auto& slot : hazard_) {
+            if (slot.second <= engine_.now()) {
+                slot = {dst_off, retire};
+                return;
+            }
+        }
+        hazard_.emplace_back(dst_off, retire);
+    }
+}
+
+void
+Pe::tickStream()
+{
+    // 1. Keep edge bursts in flight (tagged, may return out of order).
+    while (edge_bursts_inflight_ < cfg_->max_edge_bursts &&
+           !shards_.empty()) {
+        ShardCursor& sc = shards_.front();
+        const std::uint64_t bytes_left = 4 * sc.words_left;
+        const std::uint64_t chunk = std::min(
+            {static_cast<std::uint64_t>(cfg_->edge_burst_lines) *
+                 kLineBytes,
+             bytes_left, kInterleaveBytes - sc.addr % kInterleaveBytes});
+        if (!dma_.send(MemReq{sc.addr,
+                              static_cast<std::uint32_t>(chunk),
+                              dmaTag(DmaKind::Edge, edge_burst_seq_),
+                              false}))
+            break;
+        edge_pending_.emplace(
+            edge_burst_seq_,
+            EdgeSegment{sc.addr, static_cast<std::uint32_t>(chunk / 4),
+                        0, sc.s});
+        ++edge_burst_seq_;
+        ++edge_bursts_inflight_;
+        sc.addr += chunk;
+        sc.words_left -= chunk / 4;
+        if (sc.words_left == 0)
+            shards_.pop_front();
+    }
+
+    // 2. Gather input: MOMS responses take priority over local edges.
+    bool gather_used = false;
+    if (!pending_resp_)
+        pending_resp_ = moms_->receive();
+    if (pending_resp_) {
+        std::uint32_t dst_off, weight;
+        std::uint32_t id = 0;
+        if (spec_->weighted) {
+            id = static_cast<std::uint32_t>(pending_resp_->tag);
+            dst_off = thread_state_[id].first;
+            weight = thread_state_[id].second;
+        } else {
+            dst_off = static_cast<std::uint32_t>(pending_resp_->tag);
+            weight = 0;
+        }
+        if (!rawHazard(dst_off)) {
+            const std::uint32_t src_val =
+                store_->read32(pending_resp_->addr);
+            executeGather(dst_off, src_val, weight);
+            if (spec_->weighted)
+                free_ids_.push_back(id);
+            --threads_outstanding_;
+            pending_resp_.reset();
+            gather_used = true;
+        } else {
+            ++stats_.raw_stalls;
+        }
+    }
+
+    // 3. Decode and issue at most one edge.
+    if (!decode_q_.empty()) {
+        EdgeSegment& seg = decode_q_.front();
+        // Discard terminating/padding words instantly (the hardware
+        // drops the remainder of the last 512-bit word).
+        while (seg.cursor < seg.words &&
+               edgeword::isTerminating(
+                   store_->read32(seg.addr + 4ull * seg.cursor)))
+            ++seg.cursor;
+        if (seg.cursor >= seg.words) {
+            decode_q_.pop_front();
+        } else {
+            const std::uint32_t word =
+                store_->read32(seg.addr + 4ull * seg.cursor);
+            const std::uint32_t dst_off = edgeword::dstOff(word);
+            const std::uint32_t src_off = edgeword::srcOff(word);
+            const std::uint32_t weight =
+                spec_->weighted
+                    ? store_->read32(seg.addr + 4ull * (seg.cursor + 1))
+                    : 0;
+            const std::uint32_t advance = spec_->weighted ? 2 : 1;
+            const NodeId src =
+                static_cast<NodeId>(seg.s) * cfg_->ns + src_off;
+
+            const bool local =
+                spec_->use_local_src && src >= job_.base &&
+                src < job_.base + job_.count;
+            if (local) {
+                if (!gather_used && !rawHazard(dst_off)) {
+                    executeGather(
+                        dst_off,
+                        static_cast<std::uint32_t>(
+                            bram_[src - job_.base]),
+                        weight);
+                    ++stats_.local_src_reads;
+                    seg.cursor += advance;
+                }
+            } else {
+                const bool slot_free =
+                    spec_->weighted
+                        ? !free_ids_.empty()
+                        : threads_outstanding_ < cfg_->max_threads;
+                if (!slot_free) {
+                    ++stats_.thread_stalls;
+                } else if (!moms_->canSend()) {
+                    ++stats_.moms_send_stalls;
+                } else {
+                    std::uint64_t tag;
+                    if (spec_->weighted) {
+                        const std::uint32_t id = free_ids_.back();
+                        free_ids_.pop_back();
+                        thread_state_[id] = {dst_off, weight};
+                        tag = id;
+                    } else {
+                        tag = dst_off;  // Fig. 10b optimization
+                    }
+                    moms_->send(ReadReq{
+                        job_.v_in_global + 4ull * src, tag, id_});
+                    ++threads_outstanding_;
+                    ++stats_.moms_reads;
+                    seg.cursor += advance;
+                }
+            }
+        }
+    }
+
+    // 4. Job's edge phase completes when nothing remains in flight.
+    if (shards_.empty() && edge_pending_.empty() && decode_q_.empty() &&
+        !pending_resp_ && threads_outstanding_ == 0) {
+        wb_nodes_written_ = 0;
+        wb_bytes_staged_ = 0;
+        wb_writes_unacked_ = 0;
+        phase_ = Phase::Writeback;
+    }
+}
+
+void
+Pe::tickWriteback()
+{
+    std::uint32_t budget = cfg_->nodes_per_cycle;
+    while (budget > 0 && wb_nodes_written_ < job_.count) {
+        if (wb_bytes_staged_ == 0)
+            wb_burst_addr_ = job_.v_out_base + 4 * wb_nodes_written_;
+        // Functional write commits at issue; the burst models timing.
+        store_->write32(job_.v_out_base + 4 * wb_nodes_written_,
+                        spec_->apply(bram_[wb_nodes_written_]));
+        ++wb_nodes_written_;
+        wb_bytes_staged_ += 4;
+        --budget;
+
+        const Addr next = wb_burst_addr_ + wb_bytes_staged_;
+        const bool boundary =
+            next % kInterleaveBytes == 0 ||
+            wb_bytes_staged_ >=
+                static_cast<std::uint64_t>(cfg_->init_burst_lines) *
+                    kLineBytes ||
+            wb_nodes_written_ == job_.count;
+        if (boundary) {
+            if (!dma_.send(MemReq{
+                    wb_burst_addr_,
+                    static_cast<std::uint32_t>(wb_bytes_staged_),
+                    dmaTag(DmaKind::Write, wb_seq_++), true})) {
+                // Port full: roll the staging back and retry next cycle
+                // (the functional writes are already committed, which
+                // is fine — only timing is deferred).
+                wb_nodes_written_ -= wb_bytes_staged_ / 4;
+                wb_bytes_staged_ = 0;
+                return;
+            }
+            ++wb_writes_unacked_;
+            wb_bytes_staged_ = 0;
+        }
+    }
+
+    if (wb_nodes_written_ == job_.count && wb_bytes_staged_ == 0 &&
+        wb_writes_unacked_ == 0) {
+        sched_->complete(job_.d, updated_);
+        ++stats_.jobs;
+        phase_ = Phase::Idle;
+    }
+}
+
+} // namespace gmoms

@@ -1,0 +1,160 @@
+#include "src/accel/resource_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmoms
+{
+
+namespace
+{
+
+/**
+ * Our simulated structures are scaled down ~8x together with the
+ * datasets (DESIGN.md section 5); the resource model reports the
+ * paper-equivalent full-size design, so capacities are scaled back up.
+ */
+constexpr double kScale = 8.0;
+
+constexpr double kBramBits = 36.0 * 1024;
+constexpr double kUramBits = 288.0 * 1024;
+
+ResourceVector
+peCost(const AccelConfig& cfg, const AlgoSpec& spec)
+{
+    ResourceVector v;
+    const bool fp = spec.gather_latency > 1;  // HLS floating-point PE
+    v.luts = 6'500 + (fp ? 2'600 : 0) + (spec.weighted ? 1'400 : 0);
+    v.ffs = 1.4 * v.luts;
+    v.dsp = fp ? 12 : 2;
+    // Destination-node URAM: Nd nodes of 32/64-bit values.
+    const double bram_bits = spec.algo == Algorithm::PageRank ? 64 : 32;
+    v.uram = std::ceil(cfg.nd * kScale * bram_bits / kUramBits);
+    // State memory + free ID queue for weighted graphs (Fig. 10a).
+    if (spec.weighted) {
+        v.bram36 =
+            std::ceil(cfg.max_threads * kScale * 48 / kBramBits) + 1;
+    } else {
+        v.bram36 = 1;  // DMA queues etc.
+    }
+    v.bram36 += 2;  // edge/pointer DMA buffering
+    return v;
+}
+
+ResourceVector
+bankCost(const MomsBankConfig& b)
+{
+    ResourceVector v;
+    v.luts = b.assoc_mshr ? 2'200 : 4'400;  // cuckoo pipelines cost more
+    if (b.cache_bytes > 0)
+        v.luts += 600;
+    v.ffs = 1.3 * v.luts;
+    // MSHRs live in BRAM (64-bit entries), subentries and cache data in
+    // URAM (paper, Section V-B).
+    v.bram36 = std::ceil(b.num_mshrs * kScale * 64 / kBramBits);
+    v.uram = std::ceil(b.num_subentries * kScale * 48 / kUramBits) +
+             std::ceil(b.cache_bytes * kScale * 8 / kUramBits);
+    return v;
+}
+
+} // namespace
+
+ResourceBreakdown
+estimateResources(const AccelConfig& cfg, const AlgoSpec& spec,
+                  const DeviceResources& dev)
+{
+    ResourceBreakdown r;
+
+    const ResourceVector pe = peCost(cfg, spec);
+    r.pes.luts = pe.luts * cfg.num_pes;
+    r.pes.ffs = pe.ffs * cfg.num_pes;
+    r.pes.bram36 = pe.bram36 * cfg.num_pes;
+    r.pes.uram = pe.uram * cfg.num_pes;
+    r.pes.dsp = pe.dsp * cfg.num_pes;
+
+    const bool has_shared =
+        cfg.moms.topology != MomsConfig::Topology::Private;
+    const bool has_private =
+        cfg.moms.topology != MomsConfig::Topology::Shared;
+    if (has_shared) {
+        ResourceVector b = bankCost(cfg.moms.shared_bank);
+        r.moms.luts += b.luts * cfg.moms.num_shared_banks;
+        r.moms.ffs += b.ffs * cfg.moms.num_shared_banks;
+        r.moms.bram36 += b.bram36 * cfg.moms.num_shared_banks;
+        r.moms.uram += b.uram * cfg.moms.num_shared_banks;
+    }
+    if (has_private) {
+        ResourceVector b = bankCost(cfg.moms.private_bank);
+        r.moms.luts += b.luts * cfg.num_pes;
+        r.moms.ffs += b.ffs * cfg.num_pes;
+        r.moms.bram36 += b.bram36 * cfg.num_pes;
+        r.moms.uram += b.uram * cfg.num_pes;
+    }
+
+    // Interconnect: burst read/write crossbars (PE x channel, 512-bit),
+    // the MOMS request/response crossbars (client x bank) and per-die
+    // arbiters. This is where the LUTs go (Fig. 17).
+    const double k = cfg.num_pes;
+    const double c = cfg.num_channels;
+    const double banks = has_shared ? cfg.moms.num_shared_banks : 0;
+    r.interconnect.luts = 1'700 * k * c          // burst crossbars
+                          + 320 * k * banks      // MOMS crossbars
+                          + 12'000 * 3;          // per-die arbiters
+    r.interconnect.ffs = 1.8 * r.interconnect.luts;
+    r.interconnect.bram36 = 4 * c;
+
+    r.total += r.pes;
+    r.total += r.moms;
+    r.total += r.interconnect;
+
+    const double avail = 1.0 - dev.shell_fraction;
+    r.lut_util = r.total.luts / (dev.luts * avail);
+    r.ff_util = r.total.ffs / (dev.ffs * avail);
+    r.bram_util = r.total.bram36 / (dev.bram36 * avail);
+    r.uram_util = r.total.uram / (dev.uram * avail);
+    r.dsp_util = r.total.dsp / (dev.dsp * avail);
+
+    // The central SLR hosts the shared crossbars and two memory
+    // controllers; it concentrates interconnect LUTs.
+    r.peak_slr_lut_util = std::min(1.0, r.lut_util * 1.35);
+
+    // Handshake bundles that cross SLR boundaries: each PE's MOMS and
+    // burst paths, each shared bank's DRAM path, channel spines.
+    r.slr_crossings = static_cast<std::uint32_t>(
+        k + banks + 8 * (cfg.num_channels - 1));
+    return r;
+}
+
+double
+modelPowerWatts(const AccelConfig& cfg, const AlgoSpec& spec)
+{
+    const ResourceBreakdown r = estimateResources(cfg, spec);
+    const double f_ghz = modelFrequencyMhz(cfg, spec) / 1000.0;
+    // Static power of the powered-on device plus shell overhead.
+    const double station = 7.0;
+    // Dynamic: per-LUT and per-memory-block toggling at fmax.
+    const double logic = 20.0 * (r.total.luts / 1.0e6) * f_ghz / 0.2;
+    const double memories =
+        1.6 * ((r.total.bram36 + 3.0 * r.total.uram) / 1000.0) *
+        f_ghz / 0.2;
+    return station + logic + memories;
+}
+
+double
+modelFrequencyMhz(const AccelConfig& cfg, const AlgoSpec& spec)
+{
+    const ResourceBreakdown r = estimateResources(cfg, spec);
+    double f = 250.0;
+    // Routability penalty: grows once the busiest SLR passes ~65%.
+    f -= 120.0 * std::max(0.0, r.peak_slr_lut_util - 0.65);
+    // Congestion from inter-SLR crossings (Fig. 14 discussion: the
+    // 4-channel PageRank/SSSP systems run slower than the 2-channel
+    // ones because they use all SLRs).
+    f -= 0.28 * r.slr_crossings;
+    // The HLS floating-point pipeline closes timing slightly lower.
+    if (spec.gather_latency > 1)
+        f -= 6.0;
+    return std::clamp(f, 150.0, 250.0);
+}
+
+} // namespace gmoms

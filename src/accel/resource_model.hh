@@ -1,0 +1,103 @@
+/**
+ * @file
+ * FPGA resource and operating-frequency models.
+ *
+ * The paper ships on a Virtex UltraScale+ VU9P (AWS f1) spanning three
+ * SLRs, with 25-35% of the bottom/central SLRs reserved for the shell.
+ * We cannot place-and-route, so Fig. 17 (resource utilization) and the
+ * frequency behaviour (196-227 MHz shipped designs, lower with more SLR
+ * crossings) are reproduced with per-component cost formulas calibrated
+ * against the paper's reported totals. The formulas keep the monotone
+ * relationships that drive the paper's conclusions: interconnect
+ * dominates LUTs, PEs and MOMS dominate BRAM/URAM, and frequency
+ * degrades with per-SLR utilization and die-crossing count.
+ */
+
+#ifndef GMOMS_ACCEL_RESOURCE_MODEL_HH
+#define GMOMS_ACCEL_RESOURCE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/accel/accel_config.hh"
+#include "src/algo/spec.hh"
+
+namespace gmoms
+{
+
+/** Absolute resource counts of one component group. */
+struct ResourceVector
+{
+    double luts = 0;
+    double ffs = 0;
+    double bram36 = 0;  //!< 36 Kib BRAM blocks
+    double uram = 0;    //!< 288 Kib URAM blocks
+    double dsp = 0;
+
+    ResourceVector&
+    operator+=(const ResourceVector& o)
+    {
+        luts += o.luts;
+        ffs += o.ffs;
+        bram36 += o.bram36;
+        uram += o.uram;
+        dsp += o.dsp;
+        return *this;
+    }
+};
+
+/** VU9P totals (per device; three SLRs). */
+struct DeviceResources
+{
+    double luts = 1'182'000;
+    double ffs = 2'364'000;
+    double bram36 = 2'160;
+    double uram = 960;
+    double dsp = 6'840;
+    /** Fraction of the device kept by the AWS shell. */
+    double shell_fraction = 0.22;
+};
+
+/** Resource breakdown of a full accelerator configuration. */
+struct ResourceBreakdown
+{
+    ResourceVector pes;
+    ResourceVector moms;
+    ResourceVector interconnect;
+    ResourceVector total;
+
+    /** Utilization (0-1) of the non-shell device area. */
+    double lut_util = 0, ff_util = 0, bram_util = 0, uram_util = 0,
+           dsp_util = 0;
+    /** Highest per-SLR LUT utilization (routability proxy). */
+    double peak_slr_lut_util = 0;
+    /** Number of inter-SLR handshake crossings. */
+    std::uint32_t slr_crossings = 0;
+};
+
+ResourceBreakdown estimateResources(const AccelConfig& cfg,
+                                    const AlgoSpec& spec,
+                                    const DeviceResources& dev = {});
+
+/**
+ * Modelled post-route frequency in MHz. The target is 250 MHz; designs
+ * degrade with peak SLR utilization and crossing count, bottoming out
+ * near 150 MHz (the paper discards designs under 185 MHz).
+ */
+double modelFrequencyMhz(const AccelConfig& cfg, const AlgoSpec& spec);
+
+/** Paper threshold below which a design point is discarded (Fig. 11). */
+inline constexpr double kMinFrequencyMhz = 185.0;
+
+/**
+ * Modelled FPGA power in watts (excluding external memory, matching
+ * the paper's fpga-describe-local-image measurement of 23 W for the
+ * shipped designs). Scales with occupied logic, clock rate and BRAM/
+ * URAM activity; calibrated so the standard 16/16 designs land at
+ * ~23 W.
+ */
+double modelPowerWatts(const AccelConfig& cfg, const AlgoSpec& spec);
+
+} // namespace gmoms
+
+#endif // GMOMS_ACCEL_RESOURCE_MODEL_HH

@@ -1,0 +1,118 @@
+#include "src/accel/session.hh"
+
+#include <numeric>
+
+#include "src/graph/generator.hh"
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+GraphSession::GraphSession(CooGraph graph, AccelConfig config,
+                           Preprocessing preprocessing)
+    : config_(std::move(config))
+{
+    if (graph.numNodes() == 0)
+        fatal("GraphSession needs a nonempty graph");
+
+    auto [nd, ns] =
+        defaultIntervalsFor(graph.numNodes(), graph.numEdges());
+    config_.nd = nd;
+    config_.ns = ns;
+
+    // Record the permutation so callers can translate node ids.
+    to_internal_.resize(graph.numNodes());
+    std::iota(to_internal_.begin(), to_internal_.end(), NodeId{0});
+    switch (preprocessing) {
+      case Preprocessing::None:
+        break;
+      case Preprocessing::Hash:
+        to_internal_ = hashCacheLines(graph.numNodes(), nd);
+        break;
+      case Preprocessing::Dbg:
+        to_internal_ = dbgReorder(graph);
+        break;
+      case Preprocessing::DbgHash: {
+        auto dbg = dbgReorder(graph);
+        to_internal_ = composePermutations(
+            dbg, hashCacheLines(graph.numNodes(), nd));
+        break;
+      }
+    }
+    to_original_.resize(graph.numNodes());
+    for (NodeId i = 0; i < graph.numNodes(); ++i)
+        to_original_[to_internal_[i]] = i;
+
+    graph_ = graph.relabeled(to_internal_);
+    graph_.setWeighted(false);
+    pg_ = std::make_unique<PartitionedGraph>(graph_, nd, ns);
+}
+
+NodeId
+GraphSession::internalId(NodeId original) const
+{
+    if (original >= to_internal_.size())
+        fatal("internalId: node out of range");
+    return to_internal_[original];
+}
+
+NodeId
+GraphSession::originalId(NodeId internal) const
+{
+    if (internal >= to_original_.size())
+        fatal("originalId: node out of range");
+    return to_original_[internal];
+}
+
+SessionResult
+GraphSession::runSpec(const AlgoSpec& spec, const CooGraph& g)
+{
+    const PartitionedGraph& pg =
+        spec.weighted ? *pg_weighted_ : *pg_;
+    Accelerator accel(config_, pg, spec);
+    SessionResult out;
+    out.run = accel.run();
+    out.fmax_mhz = modelFrequencyMhz(config_, spec);
+    out.gteps = out.run.gteps(out.fmax_mhz);
+    out.power_watts = modelPowerWatts(config_, spec);
+    out.values.resize(g.numNodes());
+    for (NodeId i = 0; i < g.numNodes(); ++i)
+        out.values[i] = spec.finalValue(out.run.raw_values[i], i);
+    return out;
+}
+
+SessionResult
+GraphSession::pageRank(std::uint32_t iterations)
+{
+    return runSpec(AlgoSpec::pageRank(graph_, iterations), graph_);
+}
+
+SessionResult
+GraphSession::scc(std::uint32_t max_iterations)
+{
+    return runSpec(AlgoSpec::scc(graph_.numNodes(), max_iterations),
+                   graph_);
+}
+
+SessionResult
+GraphSession::sssp(NodeId source, std::uint32_t max_iterations)
+{
+    if (!weighted_) {
+        weighted_ = graph_;
+        addRandomWeights(*weighted_, 0x5e5e5e);
+        pg_weighted_ = std::make_unique<PartitionedGraph>(
+            *weighted_, config_.nd, config_.ns);
+    }
+    return runSpec(
+        AlgoSpec::sssp(internalId(source), max_iterations),
+        *weighted_);
+}
+
+SessionResult
+GraphSession::bfs(NodeId source, std::uint32_t max_iterations)
+{
+    return runSpec(AlgoSpec::bfs(internalId(source), max_iterations),
+                   graph_);
+}
+
+} // namespace gmoms

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Independent textbook implementations of each graph algorithm, used as
+ * oracles for the Template 1 reference executor and the timed
+ * accelerator. They share no code with the Template 1 path.
+ */
+
+#ifndef GMOMS_ALGO_GOLDEN_HH
+#define GMOMS_ALGO_GOLDEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+/**
+ * Damped power-iteration PageRank: PR <- (1-d)/N + d * sum(PR_u/OD_u).
+ * Dangling-node mass is dropped (not redistributed), matching the
+ * accelerator's model.
+ */
+std::vector<double> goldenPageRank(const CooGraph& g,
+                                   std::uint32_t iterations,
+                                   double damping = 0.85);
+
+/** Fixpoint of min-label propagation along directed edges (the paper's
+ *  SCC kernel): label(v) = min over {v} + labels reachable to v. */
+std::vector<std::uint32_t> goldenMinLabel(const CooGraph& g);
+
+/** Single-source shortest path distances (Bellman-Ford over COO),
+ *  kInfDist for unreachable nodes. */
+std::vector<std::uint32_t> goldenSssp(const CooGraph& g, NodeId source);
+
+/** BFS depth from @p source, kInfDist for unreachable nodes. */
+std::vector<std::uint32_t> goldenBfs(const CooGraph& g, NodeId source);
+
+} // namespace gmoms
+
+#endif // GMOMS_ALGO_GOLDEN_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Functional (untimed) executor of the Template 1 programming model.
+ *
+ * Runs the exact interval/shard iteration structure of the accelerator —
+ * including active-shard skipping, use_local_src and synchronous /
+ * asynchronous array handling — but with no timing model. It serves as
+ * (a) the correctness oracle for the timed accelerator and (b) the
+ * source of "useful work" counts (edges actually processed).
+ */
+
+#ifndef GMOMS_ALGO_REFERENCE_HH
+#define GMOMS_ALGO_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/algo/spec.hh"
+#include "src/graph/partition.hh"
+
+namespace gmoms
+{
+
+struct ReferenceResult
+{
+    /** Final raw V_DRAM words, one per node. */
+    std::vector<std::uint32_t> raw_values;
+    /** Iterations executed (< max_iterations on convergence). */
+    std::uint32_t iterations = 0;
+    /** Edges streamed over all iterations (active shards only). */
+    EdgeId edges_processed = 0;
+    /** Source-node reads that went to DRAM (not use_local_src). */
+    EdgeId remote_src_reads = 0;
+
+    /** User-facing value of node @p n. */
+    double value(const AlgoSpec& spec, NodeId n) const
+    {
+        return spec.finalValue(raw_values[n], n);
+    }
+};
+
+ReferenceResult runReference(const PartitionedGraph& pg,
+                             const AlgoSpec& spec);
+
+} // namespace gmoms
+
+#endif // GMOMS_ALGO_REFERENCE_HH

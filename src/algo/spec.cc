@@ -1,0 +1,204 @@
+#include "src/algo/spec.hh"
+
+#include <bit>
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+namespace
+{
+
+float
+asFloat(std::uint32_t raw)
+{
+    return std::bit_cast<float>(raw);
+}
+
+std::uint32_t
+asRaw(float f)
+{
+    return std::bit_cast<std::uint32_t>(f);
+}
+
+/** Saturating u32 addition for SSSP/BFS distances. */
+std::uint32_t
+satAdd(std::uint32_t a, std::uint32_t b)
+{
+    const std::uint64_t s = std::uint64_t{a} + b;
+    return s > kInfDist ? kInfDist : static_cast<std::uint32_t>(s);
+}
+
+} // namespace
+
+std::uint64_t
+AlgoSpec::init(std::uint32_t vconst, std::uint32_t vdram) const
+{
+    switch (algo) {
+      case Algorithm::PageRank:
+        // acc = 0, remember OD for apply(); the incoming vdram (old
+        // normalized score) is not needed in BRAM.
+        (void)vdram;
+        return std::uint64_t{vconst} << 32;
+      default:
+        // Propagation algorithms: BRAM starts from the current value.
+        return vdram;
+    }
+}
+
+std::uint64_t
+AlgoSpec::gather(std::uint32_t src_val, std::uint64_t bram,
+                 std::uint32_t weight) const
+{
+    switch (algo) {
+      case Algorithm::PageRank: {
+        const float acc = asFloat(static_cast<std::uint32_t>(bram)) +
+                          asFloat(src_val);
+        return (bram & 0xffffffff00000000ull) | asRaw(acc);
+      }
+      case Algorithm::Scc:
+      case Algorithm::Wcc:
+        return std::min<std::uint32_t>(
+            src_val, static_cast<std::uint32_t>(bram));
+      case Algorithm::Sssp:
+        return std::min<std::uint32_t>(
+            satAdd(src_val, weight), static_cast<std::uint32_t>(bram));
+      case Algorithm::Bfs:
+        return std::min<std::uint32_t>(
+            satAdd(src_val, 1), static_cast<std::uint32_t>(bram));
+    }
+    panic("unknown algorithm");
+}
+
+std::uint32_t
+AlgoSpec::apply(std::uint64_t bram) const
+{
+    switch (algo) {
+      case Algorithm::PageRank: {
+        const float acc = asFloat(static_cast<std::uint32_t>(bram));
+        const std::uint32_t od =
+            static_cast<std::uint32_t>(bram >> 32);
+        const float pr = teleport_ + acc;  // un-normalized new score
+        const float od_eff = od == 0 ? 1.0f : static_cast<float>(od);
+        return asRaw(damping_ * pr / od_eff);
+      }
+      default:
+        return static_cast<std::uint32_t>(bram);
+    }
+}
+
+std::uint32_t
+AlgoSpec::initialValue(NodeId n) const
+{
+    switch (algo) {
+      case Algorithm::PageRank: {
+        // s_0 = d * PR_0 / OD with PR_0 = 1/N.
+        const std::uint32_t od = (*out_degrees_)[n];
+        if (od == 0)
+            return asRaw(0.0f);
+        return asRaw(damping_ / (static_cast<float>(num_nodes_) *
+                                 static_cast<float>(od)));
+      }
+      case Algorithm::Scc:
+      case Algorithm::Wcc:
+        return n;
+      case Algorithm::Sssp:
+      case Algorithm::Bfs:
+        return n == source_ ? 0 : kInfDist;
+    }
+    panic("unknown algorithm");
+}
+
+std::uint32_t
+AlgoSpec::constValue(NodeId n) const
+{
+    if (algo != Algorithm::PageRank)
+        panic("constValue: only PageRank has a V_const");
+    return (*out_degrees_)[n];
+}
+
+double
+AlgoSpec::finalValue(std::uint32_t dram_raw, NodeId n) const
+{
+    switch (algo) {
+      case Algorithm::PageRank: {
+        const std::uint32_t od = (*out_degrees_)[n];
+        const double od_eff = od == 0 ? 1.0 : static_cast<double>(od);
+        return static_cast<double>(asFloat(dram_raw)) * od_eff /
+               damping_;
+      }
+      default:
+        return static_cast<double>(dram_raw);
+    }
+}
+
+AlgoSpec
+AlgoSpec::pageRank(const CooGraph& g, std::uint32_t iterations)
+{
+    AlgoSpec s;
+    s.algo = Algorithm::PageRank;
+    s.name = "PageRank";
+    s.has_const = true;
+    s.synchronous = true;
+    s.always_active = true;
+    s.gather_latency = 4;  // HLS floating-point pipeline (Section V-A)
+    s.max_iterations = iterations;
+    s.num_nodes_ = g.numNodes();
+    s.teleport_ = 0.15f / static_cast<float>(g.numNodes());
+    s.out_degrees_ =
+        std::make_shared<const std::vector<std::uint32_t>>(
+            g.outDegrees());
+    return s;
+}
+
+AlgoSpec
+AlgoSpec::scc(NodeId num_nodes, std::uint32_t max_iters)
+{
+    AlgoSpec s;
+    s.algo = Algorithm::Scc;
+    s.name = "SCC";
+    s.use_local_src = true;
+    s.max_iterations = max_iters;
+    s.num_nodes_ = num_nodes;
+    return s;
+}
+
+AlgoSpec
+AlgoSpec::sssp(NodeId source, std::uint32_t max_iters)
+{
+    AlgoSpec s;
+    s.algo = Algorithm::Sssp;
+    s.name = "SSSP";
+    s.weighted = true;
+    s.use_local_src = true;
+    s.max_iterations = max_iters;
+    s.source_ = source;
+    return s;
+}
+
+AlgoSpec
+AlgoSpec::bfs(NodeId source, std::uint32_t max_iters)
+{
+    AlgoSpec s;
+    s.algo = Algorithm::Bfs;
+    s.name = "BFS";
+    s.use_local_src = true;
+    s.max_iterations = max_iters;
+    s.source_ = source;
+    return s;
+}
+
+AlgoSpec
+AlgoSpec::wcc(NodeId num_nodes, std::uint32_t max_iters)
+{
+    AlgoSpec s;
+    s.algo = Algorithm::Wcc;
+    s.name = "WCC";
+    s.use_local_src = true;
+    s.max_iterations = max_iters;
+    s.num_nodes_ = num_nodes;
+    return s;
+}
+
+} // namespace gmoms

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multithreaded CPU baseline (the Ligra/GraphMat stand-in of Fig. 16).
+ *
+ * Edge-centric, shared-memory implementations of the three paper
+ * kernels, parallelized over edge ranges with std::thread and atomics.
+ * Wall-clock time is measured and converted to GTEPS so Fig. 16 can
+ * report a real CPU data point next to the simulated accelerator
+ * (see DESIGN.md substitutions — this is not Ligra, but it is a real
+ * measured CPU baseline with the same O(M)-per-iteration structure).
+ */
+
+#ifndef GMOMS_BASELINE_CPU_BASELINE_HH
+#define GMOMS_BASELINE_CPU_BASELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+struct CpuResult
+{
+    double seconds = 0;
+    EdgeId edges_processed = 0;
+    std::uint32_t iterations = 0;
+    std::vector<double> pagerank;          //!< PageRank only
+    std::vector<std::uint32_t> values;     //!< SCC/SSSP
+
+    double
+    gteps() const
+    {
+        return seconds == 0
+                   ? 0.0
+                   : static_cast<double>(edges_processed) / seconds /
+                         1e9;
+    }
+};
+
+CpuResult cpuPageRank(const CooGraph& g, std::uint32_t iterations,
+                      std::uint32_t num_threads);
+
+CpuResult cpuScc(const CooGraph& g, std::uint32_t num_threads);
+
+CpuResult cpuSssp(const CooGraph& g, NodeId source,
+                  std::uint32_t num_threads);
+
+} // namespace gmoms
+
+#endif // GMOMS_BASELINE_CPU_BASELINE_HH

@@ -1,0 +1,65 @@
+#include "src/baseline/fabgraph_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+FabGraphResult
+modelFabGraph(const CooGraph& g, const FabGraphConfig& cfg)
+{
+    FabGraphResult r;
+    const double n = static_cast<double>(g.numNodes());
+    const double m = static_cast<double>(g.numEdges());
+    const double dram_bw =
+        cfg.num_channels * cfg.channel_bytes_per_cycle;
+
+    // (1) Compute bound: all pipelines at initiation interval 1.
+    const double compute =
+        m / (cfg.pipelines * cfg.edges_per_pipeline_cycle);
+
+    // (2) DRAM edge streaming: every edge read once per iteration
+    //     (4 bytes compressed).
+    const double dram_edges = 4.0 * m / dram_bw;
+
+    // (3) DRAM vertex traffic: L2-resident fraction comes from URAM;
+    //     the overflow is re-streamed once per destination sweep.
+    const double resident =
+        std::min(1.0, static_cast<double>(cfg.l2_capacity_nodes) / n);
+    const double overflow_nodes = n * (1.0 - resident);
+    const double q_l2 =
+        std::ceil(n / static_cast<double>(cfg.l2_capacity_nodes));
+    const double dram_vertices =
+        (2.0 * n + overflow_nodes * q_l2) * 4.0 / dram_bw;
+
+    // (4) Internal L1<->L2 transfers: each L1 destination tile pairs
+    //     with every L2 source tile it consumes; with Q1 = N / L1 tiles
+    //     and source tiles of L1 size moved per pair, the moved bytes
+    //     grow ~ N^2 / L1 / L2 * min(L1,L2) — the quadratic on-chip
+    //     term that saturates scaling on large graphs (Fig. 14).
+    const double q1 = std::ceil(n / cfg.l1_tile_nodes);
+    const double internal_bytes =
+        q1 * std::min(n, static_cast<double>(cfg.l2_capacity_nodes)) *
+        4.0;
+    const double internal = internal_bytes / cfg.internal_bytes_per_cycle;
+
+    r.cycles_per_iteration =
+        std::max({compute, dram_edges, dram_vertices, internal});
+    if (r.cycles_per_iteration == compute)
+        r.bound = FabGraphResult::Bound::Compute;
+    else if (r.cycles_per_iteration == dram_edges)
+        r.bound = FabGraphResult::Bound::DramEdges;
+    else if (r.cycles_per_iteration == dram_vertices)
+        r.bound = FabGraphResult::Bound::DramVertices;
+    else
+        r.bound = FabGraphResult::Bound::Internal;
+
+    r.gteps = m * cfg.modelled_freq_mhz /
+              (r.cycles_per_iteration * 1e3);
+    return r;
+}
+
+} // namespace gmoms

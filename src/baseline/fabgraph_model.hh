@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic throughput model of FabGraph [Shao et al., FPGA'19].
+ *
+ * The paper compares against FabGraph through its own theoretical model
+ * (Equations (2)-(7) of the FabGraph paper), assuming ideal 16 GB/s per
+ * DDR4 channel, integer PageRank (initiation interval 1) and no
+ * SLR-related issues — i.e. an optimistic bound (Section V-D and
+ * Fig. 14 caption). We reconstruct that model from FabGraph's
+ * architecture: two-level vertex caching with large on-chip L2 (URAM)
+ * source tiles and small L1 (BRAM) tiles; edges streamed from DRAM;
+ * source tiles move L2 -> L1 once per (L1-tile, L2-tile) pair, which
+ * makes the internal L1/L2 bandwidth the asymptotic bottleneck on large
+ * graphs — exactly the effect Fig. 14 shows.
+ */
+
+#ifndef GMOMS_BASELINE_FABGRAPH_MODEL_HH
+#define GMOMS_BASELINE_FABGRAPH_MODEL_HH
+
+#include <cstdint>
+
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+struct FabGraphConfig
+{
+    std::uint32_t num_channels = 4;
+    /** Ideal per-channel bandwidth, bytes/cycle at the modelled clock
+     *  (16 GB/s at 250 MHz = 64 B/cycle; deliberately optimistic). */
+    double channel_bytes_per_cycle = 64;
+    /** Processing pipelines (FabGraph uses 2 per memory channel). */
+    std::uint32_t pipelines = 8;
+    /** Edges per pipeline per cycle (integer PageRank, II = 1). */
+    double edges_per_pipeline_cycle = 1.0;
+    /** L2 vertex cache capacity in nodes (URAM budget). For our scaled
+     *  datasets this is the paper's ~4M nodes / 8. */
+    NodeId l2_capacity_nodes = 512 * 1024;
+    /** L1 tile size in nodes. */
+    NodeId l1_tile_nodes = 2048;
+    /** Aggregate L1<->L2 on-chip bandwidth, bytes per cycle. */
+    double internal_bytes_per_cycle = 128;
+    double modelled_freq_mhz = 250.0;
+};
+
+struct FabGraphResult
+{
+    double cycles_per_iteration = 0;
+    double gteps = 0;
+    /** Which term bound the throughput. */
+    enum class Bound { Compute, DramEdges, DramVertices, Internal };
+    Bound bound = Bound::Compute;
+};
+
+/** Model one PageRank iteration over @p g (FabGraph supports PR/BFS-
+ *  style kernels; the paper's comparison uses PageRank only). */
+FabGraphResult modelFabGraph(const CooGraph& g, const FabGraphConfig& cfg);
+
+} // namespace gmoms
+
+#endif // GMOMS_BASELINE_FABGRAPH_MODEL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ForeGraph-style statically-scheduled scratchpad accelerator model
+ * (the "tiles" baseline of Fig. 1b and Section I-A).
+ *
+ * The tiled approach buffers both the source and the destination
+ * interval on chip and streams shards; every (source, destination)
+ * interval pair requires the source tile to be (re)loaded, making node
+ * traffic quadratic in the interval count and independent of how many
+ * nodes are actually referenced. This model charges exactly that
+ * traffic and converts it to time through the same DRAM bandwidth
+ * parameters the MOMS system uses, overlapping compute and transfer.
+ */
+
+#ifndef GMOMS_BASELINE_SCRATCHPAD_ACCEL_HH
+#define GMOMS_BASELINE_SCRATCHPAD_ACCEL_HH
+
+#include <cstdint>
+
+#include "src/graph/partition.hh"
+
+namespace gmoms
+{
+
+struct ScratchpadConfig
+{
+    std::uint32_t num_pes = 16;
+    /** Edges processed per PE per cycle. */
+    double edges_per_pe_cycle = 1.0;
+    /** Aggregate DRAM bandwidth in bytes per cycle (64 per channel). */
+    double dram_bytes_per_cycle = 256;
+    /** DRAM efficiency on long bursts (tiles stream well). */
+    double burst_efficiency = 0.94;
+    /** Skip shards whose source interval has no active nodes. */
+    bool skip_inactive = true;
+};
+
+struct ScratchpadResult
+{
+    double cycles = 0;
+    std::uint64_t node_bytes = 0;   //!< tile traffic (the quadratic term)
+    std::uint64_t edge_bytes = 0;
+    std::uint64_t total_bytes = 0;
+    EdgeId edges_processed = 0;
+
+    double
+    gteps(double freq_mhz) const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(edges_processed) *
+                                 freq_mhz / (cycles * 1e3);
+    }
+};
+
+/**
+ * Model @p iterations of edge-centric processing over @p pg.
+ * Per iteration, per destination interval: load the destination tile,
+ * load every source tile whose shard is nonempty, stream the shard
+ * edges, write the destination tile back.
+ */
+ScratchpadResult runScratchpad(const PartitionedGraph& pg,
+                               const ScratchpadConfig& cfg,
+                               std::uint32_t iterations,
+                               bool weighted_edges);
+
+} // namespace gmoms
+
+#endif // GMOMS_BASELINE_SCRATCHPAD_ACCEL_HH

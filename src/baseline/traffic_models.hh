@@ -1,0 +1,44 @@
+/**
+ * @file
+ * DRAM traffic models for the Fig. 1 comparison: how many bytes each
+ * kind of memory system moves for the same irregular source-read
+ * sequence.
+ *
+ *  (a) traditional cache — lines fetched by a small cache over the
+ *      sequential access trace;
+ *  (b) scratchpad tiles — whole source tiles per (s, d) pair (computed
+ *      by runScratchpad);
+ *  (c) ideal infinite cache — each referenced line exactly once;
+ *  (d) MOMS — measured from an accelerator run (lines_from_mem).
+ */
+
+#ifndef GMOMS_BASELINE_TRAFFIC_MODELS_HH
+#define GMOMS_BASELINE_TRAFFIC_MODELS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "src/graph/partition.hh"
+
+namespace gmoms
+{
+
+/**
+ * The source-node read trace of one edge-centric iteration: for each
+ * destination interval, for each shard, each edge's source value
+ * address (4 bytes at node id * 4). The callback receives node ids in
+ * trace order.
+ */
+void forEachSourceRead(const PartitionedGraph& pg,
+                       const std::function<void(NodeId)>& fn);
+
+/** Bytes moved by a @p cache_bytes direct-mapped cache on the trace. */
+std::uint64_t traditionalCacheTraffic(const PartitionedGraph& pg,
+                                      std::uint64_t cache_bytes);
+
+/** Bytes moved by an infinite cache: distinct lines touched, once. */
+std::uint64_t idealCacheTraffic(const PartitionedGraph& pg);
+
+} // namespace gmoms
+
+#endif // GMOMS_BASELINE_TRAFFIC_MODELS_HH

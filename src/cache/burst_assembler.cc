@@ -1,0 +1,106 @@
+#include "src/cache/burst_assembler.hh"
+
+#include <bit>
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+BurstAssembler::BurstAssembler(const Engine& engine, std::string name,
+                               const BurstAssemblerConfig& cfg,
+                               MemPort port)
+    : Component(std::move(name)), engine_(engine), cfg_(cfg),
+      port_(port)
+{
+    if (cfg.window_lines == 0 || cfg.window_lines > 32 ||
+        !isPow2(cfg.window_lines))
+        fatal("BurstAssembler window must be a power of two <= 32 "
+              "lines");
+    if (static_cast<std::uint64_t>(cfg.window_lines) * kLineBytes >
+        kInterleaveBytes)
+        fatal("BurstAssembler window must not exceed the channel "
+              "interleave unit");
+}
+
+bool
+BurstAssembler::canSend(Addr line) const
+{
+    return open_.count(windowBase(line)) ||
+           open_.size() < cfg_.max_open_windows;
+}
+
+void
+BurstAssembler::send(Addr line)
+{
+    ++stats_.line_requests;
+    const Addr base = windowBase(line);
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>((line - base) / kLineBytes);
+    auto [it, inserted] = open_.try_emplace(
+        base, Window{0, engine_.now()});
+    it->second.mask |= std::uint64_t{1} << idx;
+}
+
+std::optional<Addr>
+BurstAssembler::receive()
+{
+    if (ready_.empty())
+        return std::nullopt;
+    const Addr line = ready_.front();
+    ready_.pop_front();
+    return line;
+}
+
+bool
+BurstAssembler::flush(Addr base, const Window& window)
+{
+    const int first = std::countr_zero(window.mask);
+    const int last = 63 - std::countl_zero(window.mask);
+    const Addr addr = base + static_cast<Addr>(first) * kLineBytes;
+    const std::uint32_t bytes =
+        static_cast<std::uint32_t>(last - first + 1) * kLineBytes;
+    if (!port_.send(MemReq{addr, bytes, next_tag_, false}))
+        return false;
+    in_flight_.emplace(next_tag_, std::make_pair(base, window.mask));
+    ++next_tag_;
+    ++stats_.bursts;
+    stats_.lines_fetched += static_cast<std::uint64_t>(last - first + 1);
+    return true;
+}
+
+void
+BurstAssembler::tick()
+{
+    // Complete bursts: fan every *requested* line out to the bank.
+    while (auto resp = port_.receive()) {
+        auto it = in_flight_.find(resp->tag);
+        if (it == in_flight_.end())
+            panic("burst response with unknown tag");
+        const auto [base, mask] = it->second;
+        for (std::uint32_t i = 0; i < 64; ++i)
+            if (mask & (std::uint64_t{1} << i))
+                ready_.push_back(base +
+                                 static_cast<Addr>(i) * kLineBytes);
+        in_flight_.erase(it);
+    }
+
+    // Flush full or expired windows (one burst per cycle).
+    for (auto it = open_.begin(); it != open_.end(); ++it) {
+        const bool full =
+            std::popcount(it->second.mask) >=
+            static_cast<int>(cfg_.window_lines);
+        const bool expired =
+            engine_.now() - it->second.opened >= cfg_.wait_cycles;
+        if (!full && !expired)
+            continue;
+        if (flush(it->first, it->second)) {
+            if (expired && !full)
+                ++stats_.timeouts;
+            open_.erase(it);
+        }
+        break;  // at most one burst issued per cycle
+    }
+}
+
+} // namespace gmoms

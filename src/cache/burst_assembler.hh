@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DynaBurst-style burst assembler [Asiatici & Ienne, FPL'19].
+ *
+ * Sits between a MOMS bank's miss path and DRAM. Line requests are
+ * parked in per-window registers (a window is an aligned span of
+ * consecutive lines); when a window fills up or times out, one DRAM
+ * burst covering the span between the first and last requested line is
+ * issued — trading possibly-unused fetched lines for fewer, longer
+ * DRAM transactions. The paper evaluated this on the graph accelerator
+ * and found "the benefit to be too low to compensate for the
+ * corresponding area and delay increase" (Section V-A); the
+ * `ablation_dynaburst` bench reproduces that negative result.
+ */
+
+#ifndef GMOMS_CACHE_BURST_ASSEMBLER_HH
+#define GMOMS_CACHE_BURST_ASSEMBLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/cache/moms_bank.hh"
+#include "src/mem/memory_system.hh"
+#include "src/sim/engine.hh"
+
+namespace gmoms
+{
+
+struct BurstAssemblerConfig
+{
+    /** Window span in cache lines (aligned); 8 lines = 512 B. */
+    std::uint32_t window_lines = 8;
+    /** Cycles a window waits for companions before flushing. */
+    Cycle wait_cycles = 8;
+    /** Maximum concurrently open (unflushed) windows. */
+    std::uint32_t max_open_windows = 16;
+};
+
+class BurstAssembler : public Component, public LineDownstream
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t line_requests = 0;
+        std::uint64_t bursts = 0;
+        std::uint64_t lines_fetched = 0;  //!< includes span filler
+        std::uint64_t timeouts = 0;       //!< windows flushed by age
+    };
+
+    BurstAssembler(const Engine& engine, std::string name,
+                   const BurstAssemblerConfig& cfg, MemPort port);
+
+    // -- LineDownstream (bank side) ---------------------------------------
+    bool canSend(Addr line) const override;
+    void send(Addr line) override;
+    std::optional<Addr> receive() override;
+
+    void tick() override;
+
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Window
+    {
+        std::uint64_t mask = 0;  //!< requested lines within the window
+        Cycle opened = 0;
+    };
+
+    Addr windowBase(Addr line) const
+    {
+        return line & ~(static_cast<Addr>(cfg_.window_lines) *
+                            kLineBytes -
+                        1);
+    }
+
+    /** Flush one window into a DRAM burst; false on port backpressure. */
+    bool flush(Addr base, const Window& window);
+
+    const Engine& engine_;
+    BurstAssemblerConfig cfg_;
+    MemPort port_;
+    std::unordered_map<Addr, Window> open_;
+    /** Requested-line masks of bursts in flight, keyed by burst tag. */
+    std::unordered_map<std::uint64_t, std::pair<Addr, std::uint64_t>>
+        in_flight_;
+    std::uint64_t next_tag_ = 0;
+    std::deque<Addr> ready_;  //!< completed lines awaiting the bank
+    Stats stats_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CACHE_BURST_ASSEMBLER_HH

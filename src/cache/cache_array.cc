@@ -1,0 +1,98 @@
+#include "src/cache/cache_array.hh"
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t ways)
+    : size_bytes_(size_bytes), ways_(ways)
+{
+    if (size_bytes == 0) {
+        num_sets_ = 0;
+        return;
+    }
+    if (ways == 0)
+        fatal("cache associativity must be >= 1");
+    if (size_bytes % kLineBytes != 0)
+        fatal("cache size must be a multiple of the line size");
+    const std::uint64_t lines = size_bytes / kLineBytes;
+    if (lines % ways != 0)
+        fatal("cache size must be a multiple of ways * line size");
+    num_sets_ = static_cast<std::uint32_t>(lines / ways);
+    if (!isPow2(num_sets_))
+        fatal("cache set count must be a power of two");
+    ways_storage_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+std::uint32_t
+CacheArray::setOf(Addr line) const
+{
+    return static_cast<std::uint32_t>((line / kLineBytes) &
+                                      (num_sets_ - 1));
+}
+
+bool
+CacheArray::lookup(Addr line)
+{
+    if (disabled()) {
+        ++stats_.misses;
+        return false;
+    }
+    Way* set = &ways_storage_[static_cast<std::size_t>(setOf(line)) *
+                              ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].lru = ++stamp_;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+CacheArray::contains(Addr line) const
+{
+    if (disabled())
+        return false;
+    const Way* set = &ways_storage_[static_cast<std::size_t>(setOf(line)) *
+                                    ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (set[w].valid && set[w].line == line)
+            return true;
+    return false;
+}
+
+void
+CacheArray::fill(Addr line)
+{
+    if (disabled())
+        return;
+    Way* set = &ways_storage_[static_cast<std::size_t>(setOf(line)) *
+                              ways_];
+    Way* victim = &set[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].line == line)
+            return;  // already present
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->lru = ++stamp_;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (Way& w : ways_storage_)
+        w.valid = false;
+}
+
+} // namespace gmoms

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Set-associative tag array with LRU replacement.
+ *
+ * Only tags are modelled — data always comes from the functional backing
+ * store — so this class answers "would this access hit?" and tracks
+ * hit/miss statistics. ways == 1 gives the direct-mapped arrays the paper
+ * uses in shared MOMS banks; size 0 disables the array entirely (the
+ * cache-less MOMS of Figs. 12 and 15).
+ */
+
+#ifndef GMOMS_CACHE_CACHE_ARRAY_HH
+#define GMOMS_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/cache_types.hh"
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+class CacheArray
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /**
+     * @param size_bytes Total capacity; 0 disables the array.
+     * @param ways       Associativity (1 = direct-mapped).
+     */
+    CacheArray(std::uint64_t size_bytes, std::uint32_t ways);
+
+    /** True when the array is absent (size 0). */
+    bool disabled() const { return num_sets_ == 0; }
+
+    std::uint64_t sizeBytes() const { return size_bytes_; }
+    std::uint32_t ways() const { return ways_; }
+
+    /**
+     * Look up @p line (line-aligned address); updates LRU on hit and
+     * statistics either way.
+     */
+    bool lookup(Addr line);
+
+    /** Probe without updating LRU or statistics. */
+    bool contains(Addr line) const;
+
+    /** Install @p line, evicting the set's LRU way if needed. */
+    void fill(Addr line);
+
+    /** Drop every line (used at iteration boundaries: the node arrays
+     *  swap or are rewritten, so cached values would be stale). */
+    void invalidateAll();
+
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;  //!< last-touch stamp
+    };
+
+    std::uint32_t setOf(Addr line) const;
+
+    std::uint64_t size_bytes_ = 0;
+    std::uint32_t ways_ = 1;
+    std::uint32_t num_sets_ = 0;
+    std::uint64_t stamp_ = 0;
+    std::vector<Way> ways_storage_;  //!< num_sets x ways
+    Stats stats_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Request/response tokens of the source-node read path (PE -> MOMS).
+ */
+
+#ifndef GMOMS_CACHE_CACHE_TYPES_HH
+#define GMOMS_CACHE_CACHE_TYPES_HH
+
+#include <cstdint>
+
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+/**
+ * A short irregular read: one 32-bit word at @p addr.
+ *
+ * @c tag is chosen by the client and echoed back; the PE uses it to
+ * retrieve the suspended thread state (Fig. 10 of the paper). @c client
+ * is filled by the interconnect for response routing.
+ */
+struct ReadReq
+{
+    Addr addr = 0;
+    std::uint64_t tag = 0;
+    std::uint32_t client = 0;
+};
+
+/** Completion of a ReadReq; @c addr is the original word address. */
+struct ReadResp
+{
+    Addr addr = 0;
+    std::uint64_t tag = 0;
+    std::uint32_t client = 0;
+};
+
+/** Line-aligned base of the cache line containing @p addr. */
+constexpr Addr
+lineOf(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Byte offset of @p addr within its cache line. */
+constexpr std::uint32_t
+lineOffset(Addr addr)
+{
+    return static_cast<std::uint32_t>(addr & (kLineBytes - 1));
+}
+
+} // namespace gmoms
+
+#endif // GMOMS_CACHE_CACHE_TYPES_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Full miss-optimized memory systems: the shared, private-only and
+ * two-level organizations of Fig. 8, plus their traditional-cache
+ * twins used as baselines throughout Section V.
+ *
+ * PEs talk to a MomsSystem through SourcePort (one per PE). Internally:
+ *  - Shared:    PE ports -> request/response crossbars -> B banks -> DRAM.
+ *  - Private:   PE ports -> per-PE bank -> DRAM.
+ *  - TwoLevel:  PE ports -> per-PE (L1) bank -> crossbar -> B shared
+ *               (L2) banks -> DRAM. L1 banks request whole lines, so the
+ *               L2 coalesces across PEs exactly like a two-level cache.
+ *
+ * Shared banks are statically bound to one DRAM channel (Section IV-B):
+ * the bank index of a line embeds its channel, so each bank only ever
+ * addresses its own channel.
+ */
+
+#ifndef GMOMS_CACHE_MOMS_SYSTEM_HH
+#define GMOMS_CACHE_MOMS_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cache/burst_assembler.hh"
+#include "src/cache/moms_bank.hh"
+#include "src/mem/memory_system.hh"
+#include "src/sim/engine.hh"
+
+namespace gmoms
+{
+
+/** What a PE sees: a port for short irregular source-node reads. */
+class SourcePort
+{
+  public:
+    virtual ~SourcePort() = default;
+    virtual bool canSend() const = 0;
+    virtual bool send(const ReadReq& req) = 0;
+    virtual std::optional<ReadResp> receive() = 0;
+};
+
+struct MomsConfig
+{
+    enum class Topology { Shared, Private, TwoLevel };
+
+    Topology topology = Topology::TwoLevel;
+    std::uint32_t num_shared_banks = 16;
+    MomsBankConfig shared_bank;   //!< used by Shared and TwoLevel
+    MomsBankConfig private_bank;  //!< used by Private and TwoLevel
+    /** Extra link latency for paths that cross SLR boundaries (Fig. 5:
+     *  two register stages each way). */
+    Cycle crossing_latency = 4;
+    std::uint32_t crossbar_queue_depth = 32;
+
+    /** DynaBurst extension: assemble DRAM bursts out of nearby line
+     *  misses (Section V-A — the paper found the benefit too low;
+     *  kept as a reproducible option). */
+    bool dynaburst = false;
+    BurstAssemblerConfig dynaburst_cfg;
+
+    /** Paper-style label such as "16/16 32k" (Fig. 11). */
+    std::string label(std::uint32_t num_pes) const;
+
+    // -- convenience factories (sizes are paper values / 8 to match the
+    //    scaled datasets; see DESIGN.md section 5) ----------------------
+
+    /** The paper's shared-only MOMS [6]. */
+    static MomsConfig shared(std::uint32_t banks);
+    /** Private-only MOMS, one bank per PE (Fig. 8 middle). */
+    static MomsConfig privateOnly();
+    /** Two-level MOMS with @p banks shared banks and @p private_cache
+     *  bytes of per-PE cache (often 0, per Section V-B). */
+    static MomsConfig twoLevel(std::uint32_t banks,
+                               std::uint64_t private_cache_bytes = 0);
+    /** Traditional non-blocking cache in the same three shapes:
+     *  16 fully-associative MSHRs, 8 subentries per MSHR. */
+    static MomsConfig traditionalShared(std::uint32_t banks);
+    static MomsConfig traditionalTwoLevel(std::uint32_t banks);
+
+    /** MemorySystem ports a MomsSystem with this config will consume. */
+    std::uint32_t
+    memPortsNeeded(std::uint32_t num_pes) const
+    {
+        return topology == Topology::Private ? num_pes
+                                             : num_shared_banks;
+    }
+
+    /** Drop all cache arrays (the cache-less sweeps of Figs. 12/15). */
+    MomsConfig withoutCacheArrays() const;
+    /** Scale private/shared cache sizes (Fig. 15 sweeps). */
+    MomsConfig withPrivateCache(std::uint64_t bytes) const;
+    MomsConfig withSharedCache(std::uint64_t bytes) const;
+};
+
+/**
+ * A constructed MOMS instance: owns banks, crossbar state and DRAM
+ * adapters, and aggregates statistics across levels.
+ */
+class MomsSystem : public Component
+{
+  public:
+    MomsSystem(Engine& engine, MemorySystem& mem,
+               std::uint32_t first_mem_port, std::uint32_t num_pes,
+               const MomsConfig& cfg);
+    ~MomsSystem() override;
+
+    SourcePort& pePort(std::uint32_t pe) { return *pe_ports_[pe]; }
+
+    /** Crossbar movement for shared topologies; banks tick themselves. */
+    void tick() override;
+
+    /** Invalidate every cache array (iteration boundary). */
+    void invalidateCaches();
+
+    bool idle() const;
+
+    /** Number of MemorySystem ports consumed, starting at
+     *  first_mem_port. */
+    std::uint32_t memPortsUsed() const { return mem_ports_used_; }
+
+    // -- aggregate statistics -------------------------------------------
+    /** PE-facing requests (level-1 accesses). */
+    std::uint64_t totalRequests() const;
+    /** Hits in either cache level (Fig. 12 definition). */
+    std::uint64_t totalHits() const;
+    /** Secondary misses in either level. */
+    std::uint64_t totalSecondaryMisses() const;
+    /** Lines fetched from DRAM by this memory system. */
+    std::uint64_t totalLinesFromMem() const;
+    double hitRate() const;
+
+    const MomsConfig& config() const { return cfg_; }
+    const std::vector<std::unique_ptr<MomsBank>>& sharedBanks() const
+    {
+        return shared_banks_;
+    }
+    const std::vector<std::unique_ptr<MomsBank>>& privateBanks() const
+    {
+        return private_banks_;
+    }
+
+    void registerStats(StatRegistry& reg) const;
+
+  private:
+    struct DramAdapter;
+    struct SharedLevelAdapter;
+    struct BankDirectPort;
+    struct CrossbarPort;
+
+    /** Shared bank that owns @p line (channel-aware hash). */
+    std::uint32_t bankOf(Addr line) const;
+
+    Engine& engine_;
+    MemorySystem& mem_;
+    MomsConfig cfg_;
+    std::uint32_t num_pes_ = 0;
+    std::uint32_t num_channels_ = 0;
+    std::uint32_t mem_ports_used_ = 0;
+
+    std::vector<std::unique_ptr<MomsBank>> shared_banks_;
+    std::vector<std::unique_ptr<MomsBank>> private_banks_;
+    std::vector<std::unique_ptr<LineDownstream>> downstreams_;
+    std::vector<std::unique_ptr<BurstAssembler>> assemblers_;
+    std::vector<std::unique_ptr<SourcePort>> pe_ports_;
+
+    // Crossbar queues (client side) for shared topologies. For
+    // TwoLevel the "clients" are the private banks.
+    std::vector<std::unique_ptr<TimedQueue<ReadReq>>> xbar_req_;
+    std::vector<std::unique_ptr<TimedQueue<ReadResp>>> xbar_resp_;
+    std::uint32_t xbar_req_rr_ = 0;
+    std::uint32_t xbar_resp_rr_ = 0;
+    // Per-cycle arbitration scratch (members to avoid reallocation).
+    std::vector<bool> bank_claimed_;
+    std::vector<bool> client_claimed_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CACHE_MOMS_SYSTEM_HH

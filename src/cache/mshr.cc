@@ -1,0 +1,153 @@
+#include "src/cache/mshr.hh"
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+namespace
+{
+
+/** Per-table multiplicative hash constants (odd, high-entropy). */
+constexpr std::uint64_t kHashMul[8] = {
+    0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full, 0x165667b19e3779f9ull,
+    0x27d4eb2f165667c5ull, 0x94d049bb133111ebull, 0xbf58476d1ce4e5b9ull,
+    0xff51afd7ed558ccdull, 0xc4ceb9fe1a85ec53ull,
+};
+
+} // namespace
+
+CuckooMshr::CuckooMshr(std::uint32_t capacity, std::uint32_t tables,
+                       std::uint32_t max_kicks)
+    : tables_(tables), max_kicks_(max_kicks)
+{
+    if (tables == 0 || tables > 8)
+        fatal("CuckooMshr supports 1-8 tables");
+    if (capacity % tables != 0)
+        fatal("CuckooMshr capacity must be a multiple of the table count");
+    slots_per_table_ = capacity / tables;
+    if (!isPow2(slots_per_table_))
+        fatal("CuckooMshr slots per table must be a power of two");
+    entries_.resize(capacity);
+}
+
+std::uint32_t
+CuckooMshr::slotOf(Addr line, std::uint32_t table) const
+{
+    const std::uint64_t h = (line / kLineBytes) * kHashMul[table];
+    return static_cast<std::uint32_t>(h >> 40) & (slots_per_table_ - 1);
+}
+
+MshrEntry*
+CuckooMshr::find(Addr line)
+{
+    for (std::uint32_t t = 0; t < tables_; ++t) {
+        MshrEntry& e = at(t, slotOf(line, t));
+        if (e.valid && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+MshrEntry*
+CuckooMshr::insert(Addr line)
+{
+    // Fast path: an empty slot in any table.
+    for (std::uint32_t t = 0; t < tables_; ++t) {
+        MshrEntry& e = at(t, slotOf(line, t));
+        if (!e.valid) {
+            e = MshrEntry{line, kNoSubentry, kNoSubentry, 0, true};
+            noteInsert();
+            return &e;
+        }
+    }
+    // Cuckoo path: displace residents, round-robin through tables,
+    // recording each swap so a failed insertion can be fully undone
+    // (displaced entries own live subentry lists and must not be lost).
+    MshrEntry pending{line, kNoSubentry, kNoSubentry, 0, true};
+    struct Step { std::uint32_t table, slot; };
+    std::vector<Step> path;
+    path.reserve(max_kicks_);
+    std::uint32_t table = 0;
+    for (std::uint32_t kick = 0; kick < max_kicks_; ++kick) {
+        const std::uint32_t slot = slotOf(pending.line, table);
+        std::swap(pending, at(table, slot));
+        path.push_back(Step{table, slot});
+        ++stats_.cuckoo_kicks;
+        if (!pending.valid) {
+            noteInsert();
+            // The new entry may itself have been displaced onward;
+            // return its current location.
+            MshrEntry* placed = find(line);
+            if (!placed)
+                panic("cuckoo insert lost the new entry");
+            return placed;
+        }
+        table = (table + 1) % tables_;
+    }
+    // Give up: unwind the kick chain in reverse, restoring every
+    // displaced entry to its original slot.
+    for (auto it = path.rbegin(); it != path.rend(); ++it)
+        std::swap(pending, at(it->table, it->slot));
+    ++stats_.insert_failures;
+    return nullptr;
+}
+
+void
+CuckooMshr::erase(Addr line)
+{
+    for (std::uint32_t t = 0; t < tables_; ++t) {
+        MshrEntry& e = at(t, slotOf(line, t));
+        if (e.valid && e.line == line) {
+            e.valid = false;
+            --occupancy_;
+            return;
+        }
+    }
+    panic("CuckooMshr::erase: line not present");
+}
+
+AssocMshr::AssocMshr(std::uint32_t capacity)
+{
+    if (capacity == 0)
+        fatal("AssocMshr capacity must be >= 1");
+    entries_.resize(capacity);
+}
+
+MshrEntry*
+AssocMshr::find(Addr line)
+{
+    for (MshrEntry& e : entries_)
+        if (e.valid && e.line == line)
+            return &e;
+    return nullptr;
+}
+
+MshrEntry*
+AssocMshr::insert(Addr line)
+{
+    for (MshrEntry& e : entries_) {
+        if (!e.valid) {
+            e = MshrEntry{line, kNoSubentry, kNoSubentry, 0, true};
+            noteInsert();
+            return &e;
+        }
+    }
+    ++stats_.insert_failures;
+    return nullptr;
+}
+
+void
+AssocMshr::erase(Addr line)
+{
+    for (MshrEntry& e : entries_) {
+        if (e.valid && e.line == line) {
+            e.valid = false;
+            --occupancy_;
+            return;
+        }
+    }
+    panic("AssocMshr::erase: line not present");
+}
+
+} // namespace gmoms

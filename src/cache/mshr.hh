@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Miss status holding register files.
+ *
+ * Two implementations behind one interface:
+ *  - CuckooMshr: the paper's RAM-resident, cuckoo-hashed file that scales
+ *    to thousands of entries (Section II, [Asiatici & Ienne FPGA'19]);
+ *  - AssocMshr: the small fully-associative file of traditional
+ *    non-blocking caches (16 entries in the paper's baselines).
+ *
+ * An entry maps a line address to the head/tail of its subentry list
+ * (kept in a SubentryStore) plus a per-line subentry count used to
+ * enforce the traditional caches' 8-subentries-per-MSHR limit.
+ */
+
+#ifndef GMOMS_CACHE_MSHR_HH
+#define GMOMS_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+/** Sentinel index for "no subentry". */
+inline constexpr std::uint32_t kNoSubentry = 0xffffffffu;
+
+struct MshrEntry
+{
+    Addr line = 0;
+    std::uint32_t subentry_head = kNoSubentry;
+    std::uint32_t subentry_tail = kNoSubentry;
+    std::uint32_t subentry_count = 0;
+    bool valid = false;
+};
+
+/** Abstract MSHR file keyed by line address. */
+class MshrFile
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t inserts = 0;
+        std::uint64_t insert_failures = 0;  //!< full / cuckoo give-up
+        std::uint64_t cuckoo_kicks = 0;
+        std::uint64_t peak_occupancy = 0;
+    };
+
+    virtual ~MshrFile() = default;
+
+    /** Entry for @p line, or nullptr when absent. Pointer is valid until
+     *  the next insert/erase. */
+    virtual MshrEntry* find(Addr line) = 0;
+
+    /**
+     * Allocate an entry for @p line (must not be present).
+     * @return the new entry, or nullptr when the file cannot take it
+     *         (capacity or cuckoo insertion failure) — the caller stalls.
+     */
+    virtual MshrEntry* insert(Addr line) = 0;
+
+    /** Remove the entry for @p line (must be present). */
+    virtual void erase(Addr line) = 0;
+
+    virtual std::uint32_t capacity() const = 0;
+    std::uint32_t occupancy() const { return occupancy_; }
+    const Stats& stats() const { return stats_; }
+
+  protected:
+    void
+    noteInsert()
+    {
+        ++stats_.inserts;
+        ++occupancy_;
+        stats_.peak_occupancy =
+            std::max<std::uint64_t>(stats_.peak_occupancy, occupancy_);
+    }
+
+    std::uint32_t occupancy_ = 0;
+    Stats stats_;
+};
+
+/**
+ * Cuckoo-hashed MSHR file: @p tables ways, each with capacity/tables
+ * slots; insertion displaces residents for up to @p max_kicks hops
+ * before giving up (the FPGA design stalls and retries in that case,
+ * which is exactly what returning nullptr triggers in the bank).
+ */
+class CuckooMshr : public MshrFile
+{
+  public:
+    CuckooMshr(std::uint32_t capacity, std::uint32_t tables = 4,
+               std::uint32_t max_kicks = 8);
+
+    MshrEntry* find(Addr line) override;
+    MshrEntry* insert(Addr line) override;
+    void erase(Addr line) override;
+    std::uint32_t capacity() const override
+    {
+        return static_cast<std::uint32_t>(tables_ * slots_per_table_);
+    }
+
+  private:
+    std::uint32_t slotOf(Addr line, std::uint32_t table) const;
+    MshrEntry& at(std::uint32_t table, std::uint32_t slot)
+    {
+        return entries_[static_cast<std::size_t>(table) *
+                        slots_per_table_ + slot];
+    }
+
+    std::uint32_t tables_;
+    std::uint32_t slots_per_table_;
+    std::uint32_t max_kicks_;
+    std::vector<MshrEntry> entries_;
+};
+
+/** Small fully-associative MSHR file (traditional cache baseline). */
+class AssocMshr : public MshrFile
+{
+  public:
+    explicit AssocMshr(std::uint32_t capacity);
+
+    MshrEntry* find(Addr line) override;
+    MshrEntry* insert(Addr line) override;
+    void erase(Addr line) override;
+    std::uint32_t capacity() const override
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+  private:
+    std::vector<MshrEntry> entries_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CACHE_MSHR_HH

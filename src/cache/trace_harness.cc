@@ -1,0 +1,120 @@
+#include "src/cache/trace_harness.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/sim/engine.hh"
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+namespace patterns
+{
+
+std::function<Addr(Rng&)>
+uniform(std::uint64_t footprint_words)
+{
+    return [footprint_words](Rng& rng) {
+        return rng.below(footprint_words);
+    };
+}
+
+std::function<Addr(Rng&)>
+zipf(std::uint64_t footprint_words, double alpha)
+{
+    // Build a rank -> weight CDF over a capped number of ranks; the
+    // tail beyond the cap is uniform (standard trace-generation
+    // shortcut that keeps setup O(ranks)).
+    const std::size_t ranks = static_cast<std::size_t>(
+        std::min<std::uint64_t>(footprint_words, 65536));
+    auto cdf = std::make_shared<std::vector<double>>(ranks);
+    double acc = 0;
+    for (std::size_t r = 0; r < ranks; ++r) {
+        acc += std::pow(static_cast<double>(r) + 1.0, -alpha);
+        (*cdf)[r] = acc;
+    }
+    const double total = acc;
+    // Scatter ranks across the footprint with a multiplicative hash so
+    // hot words are not spatially adjacent.
+    return [cdf, total, footprint_words](Rng& rng) {
+        const double u = rng.uniform() * total;
+        const auto it =
+            std::lower_bound(cdf->begin(), cdf->end(), u);
+        const std::uint64_t rank =
+            static_cast<std::uint64_t>(it - cdf->begin());
+        return (rank * 0x9e3779b97f4a7c15ull) % footprint_words;
+    };
+}
+
+std::function<Addr(Rng&)>
+strided(std::uint64_t footprint_words, std::uint64_t stride_words)
+{
+    auto cursor = std::make_shared<std::uint64_t>(0);
+    return [cursor, footprint_words, stride_words](Rng&) {
+        const std::uint64_t w = *cursor;
+        *cursor = (*cursor + stride_words) % footprint_words;
+        return w;
+    };
+}
+
+} // namespace patterns
+
+TraceResult
+replayTrace(const MomsConfig& moms_cfg, const TraceConfig& cfg,
+            const std::function<Addr(Rng&)>& pattern)
+{
+    Engine eng;
+    MemorySystem mem(eng, cfg.dram, cfg.num_channels,
+                     moms_cfg.memPortsNeeded(cfg.num_clients));
+    const std::size_t bytes = static_cast<std::size_t>(
+        alignUp(cfg.footprint_words * 4, kInterleaveBytes));
+    mem.store().resize(bytes);
+    for (Addr a = 0; a < bytes; a += 4)
+        mem.store().write32(a, static_cast<std::uint32_t>(a / 4));
+
+    MomsSystem moms(eng, mem, 0, cfg.num_clients, moms_cfg);
+
+    std::vector<Rng> rngs;
+    std::vector<std::uint32_t> sent(cfg.num_clients, 0);
+    std::vector<std::uint32_t> done(cfg.num_clients, 0);
+    for (std::uint32_t c = 0; c < cfg.num_clients; ++c)
+        rngs.emplace_back(cfg.seed + c);
+
+    const bool ok = eng.runUntil(
+        [&] {
+            bool all = true;
+            for (std::uint32_t c = 0; c < cfg.num_clients; ++c) {
+                SourcePort& port = moms.pePort(c);
+                const std::uint32_t inflight = sent[c] - done[c];
+                if (sent[c] < cfg.requests_per_client &&
+                    inflight < cfg.client_window && port.canSend()) {
+                    const Addr word = pattern(rngs[c]);
+                    port.send(ReadReq{word * 4, word * 4, c});
+                    ++sent[c];
+                }
+                while (auto resp = port.receive()) {
+                    if (resp->addr != resp->tag)
+                        panic("trace harness: response/tag mismatch");
+                    ++done[c];
+                }
+                all &= done[c] == cfg.requests_per_client;
+            }
+            return all;
+        },
+        500'000'000);
+    if (!ok)
+        fatal("trace replay did not complete within the cycle budget");
+
+    TraceResult r;
+    r.cycles = eng.now();
+    r.requests = moms.totalRequests();
+    r.hits = moms.totalHits();
+    r.secondary_misses = moms.totalSecondaryMisses();
+    r.lines_from_mem = moms.totalLinesFromMem();
+    r.dram_bytes = mem.totalBytesRead();
+    return r;
+}
+
+} // namespace gmoms

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) representation and conversion.
+ *
+ * The paper's preprocessing argument (Section III-C): interval
+ * partitioning is O(M), whereas frameworks that require CSR (Galois,
+ * Totem, Graphicionado) implicitly sort edges by source, an
+ * O(M log M)-class step. This module provides CSR both as a substrate
+ * for the CPU baselines and to measure that conversion-cost contrast
+ * (`table3`-adjacent microbenchmarks and tests).
+ */
+
+#ifndef GMOMS_GRAPH_CSR_HH
+#define GMOMS_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+class CsrGraph
+{
+  public:
+    /** Build from COO via counting sort over sources: O(N + M). The
+     *  more general sort-based pipelines are O(M log M); either way
+     *  CSR costs strictly more than shard partitioning. */
+    explicit CsrGraph(const CooGraph& g);
+
+    NodeId numNodes() const { return num_nodes_; }
+    EdgeId numEdges() const
+    {
+        return static_cast<EdgeId>(neighbors_.size());
+    }
+    bool weighted() const { return weighted_; }
+
+    /** Out-neighbors of @p n. */
+    std::span<const NodeId>
+    neighbors(NodeId n) const
+    {
+        return {neighbors_.data() + row_offsets_[n],
+                neighbors_.data() + row_offsets_[n + 1]};
+    }
+
+    /** Weights parallel to neighbors(n); empty span if unweighted. */
+    std::span<const std::uint32_t>
+    weights(NodeId n) const
+    {
+        if (!weighted_)
+            return {};
+        return {weights_.data() + row_offsets_[n],
+                weights_.data() + row_offsets_[n + 1]};
+    }
+
+    std::uint32_t
+    outDegree(NodeId n) const
+    {
+        return static_cast<std::uint32_t>(row_offsets_[n + 1] -
+                                          row_offsets_[n]);
+    }
+
+    /** Back to COO (row-major edge order). */
+    CooGraph toCoo() const;
+
+  private:
+    NodeId num_nodes_ = 0;
+    bool weighted_ = false;
+    std::vector<EdgeId> row_offsets_;  //!< size N + 1
+    std::vector<NodeId> neighbors_;
+    std::vector<std::uint32_t> weights_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_GRAPH_CSR_HH

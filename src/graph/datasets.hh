@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Registry of Table II benchmark graphs and their synthetic stand-ins.
+ *
+ * The paper evaluates on 9 real-world graphs plus 3 RMAT graphs (Table
+ * II). Real datasets are not redistributable here, so each gets a
+ * synthetic profile that preserves the properties the memory system is
+ * sensitive to — node/edge counts (scaled down for simulation speed),
+ * degree skew, and whether the native labeling preserves communities
+ * (web graphs: yes; social graphs and RMAT: no, per Section V-C).
+ */
+
+#ifndef GMOMS_GRAPH_DATASETS_HH
+#define GMOMS_GRAPH_DATASETS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+struct DatasetProfile
+{
+    std::string tag;        //!< two-letter code used in the paper
+    std::string full_name;  //!< dataset name from Table II
+    std::uint64_t paper_nodes;  //!< N in Table II
+    std::uint64_t paper_edges;  //!< M in Table II
+    std::uint32_t scale_divisor; //!< our stand-in is paper size / divisor
+
+    enum class Family { Web, Social, Rmat } family;
+    /** Web graphs keep clustered labels; social/RMAT get a random
+     *  label shuffle to model community-destroying native labeling. */
+    bool labels_preserve_communities;
+
+    /** Edge-count cap applied after scaling (simulation-time budget);
+     *  see datasets.cc for the rationale. */
+    static constexpr EdgeId kEdgeCap = 1'200'000;
+
+    NodeId nodes() const
+    {
+        return static_cast<NodeId>(paper_nodes / scale_divisor);
+    }
+    EdgeId
+    edges() const
+    {
+        return std::min<EdgeId>(paper_edges / scale_divisor, kEdgeCap);
+    }
+};
+
+/** All 12 Table II profiles, in paper order. */
+const std::vector<DatasetProfile>& table2Profiles();
+
+/** Profile by two-letter tag ("WT", "DB", ..., "24"). */
+const DatasetProfile& datasetByTag(const std::string& tag);
+
+/**
+ * Build the synthetic stand-in for @p profile (deterministic in
+ * @p seed). The result has profile.nodes()/edges() sizes.
+ */
+CooGraph buildDataset(const DatasetProfile& profile,
+                      std::uint64_t seed = 1);
+
+/**
+ * The subset of tags used by quick benches; the GMOMS_FULL_DATASETS=1
+ * environment variable switches every bench to all 12.
+ */
+std::vector<std::string> benchDatasetTags();
+
+} // namespace gmoms
+
+#endif // GMOMS_GRAPH_DATASETS_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic graph generators used as stand-ins for the paper's datasets
+ * (see DESIGN.md, substitution table) and for tests/examples.
+ */
+
+#ifndef GMOMS_GRAPH_GENERATOR_HH
+#define GMOMS_GRAPH_GENERATOR_HH
+
+#include <cstdint>
+
+#include "src/graph/coo.hh"
+#include "src/sim/rng.hh"
+
+namespace gmoms
+{
+
+/** Parameters of the R-MAT recursive generator [Chakrabarti et al.]. */
+struct RmatParams
+{
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;  //!< d = 1 - a - b - c
+    double noise = 0.1;  //!< per-level probability perturbation
+};
+
+/**
+ * Generate an R-MAT graph with 2^scale nodes and @p num_edges edges.
+ *
+ * R-MAT naturally produces a power-law degree distribution and label-space
+ * clustering (high address bits correlate), which models the
+ * community-preserving labeling of web graphs (Section IV-E).
+ */
+CooGraph rmat(std::uint32_t scale, EdgeId num_edges,
+              const RmatParams& params, std::uint64_t seed);
+
+/**
+ * Power-law out-degree graph over @p num_nodes nodes: node degrees follow
+ * a Zipf-like distribution with exponent @p alpha, destinations chosen
+ * with locality @p locality in [0,1]: with that probability the
+ * destination is near the source in label space (window of
+ * @p window nodes), else uniform.
+ */
+CooGraph powerLaw(NodeId num_nodes, EdgeId num_edges, double alpha,
+                  double locality, NodeId window, std::uint64_t seed);
+
+/** Uniform (Erdos-Renyi style) random directed graph. */
+CooGraph uniformRandom(NodeId num_nodes, EdgeId num_edges,
+                       std::uint64_t seed);
+
+/**
+ * 4-connected 2-D grid of rows x cols nodes (both directions per
+ * neighbor pair) — a road-network-like workload for the SSSP example.
+ */
+CooGraph grid2d(NodeId rows, NodeId cols);
+
+/** Chain 0 -> 1 -> ... -> n-1; handy for SSSP/BFS unit tests. */
+CooGraph chain(NodeId num_nodes);
+
+/** Star: node 0 -> all others. Stress case for request merging. */
+CooGraph star(NodeId num_nodes);
+
+/** Assign uniform random integer weights in [0, 255] (Section V-A). */
+void addRandomWeights(CooGraph& g, std::uint64_t seed);
+
+/** Random permutation of node labels (destroys community structure). */
+std::vector<NodeId> randomPermutation(NodeId num_nodes,
+                                      std::uint64_t seed);
+
+} // namespace gmoms
+
+#endif // GMOMS_GRAPH_GENERATOR_HH

@@ -1,0 +1,46 @@
+#include "src/graph/graph_stats.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gmoms
+{
+
+GraphStats
+computeGraphStats(const CooGraph& g)
+{
+    GraphStats s;
+    s.num_nodes = g.numNodes();
+    s.num_edges = g.numEdges();
+    if (s.num_nodes == 0)
+        return s;
+    s.avg_out_degree =
+        static_cast<double>(s.num_edges) / s.num_nodes;
+
+    std::vector<std::uint32_t> out = g.outDegrees();
+    std::vector<std::uint32_t> in = g.inDegrees();
+    s.max_out_degree = *std::max_element(out.begin(), out.end());
+    s.max_in_degree = *std::max_element(in.begin(), in.end());
+
+    std::vector<std::uint32_t> sorted = out;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const std::size_t top = std::max<std::size_t>(sorted.size() / 100, 1);
+    std::uint64_t top_edges = 0;
+    for (std::size_t i = 0; i < top; ++i)
+        top_edges += sorted[i];
+    s.top1pct_edge_share =
+        s.num_edges ? static_cast<double>(top_edges) / s.num_edges : 0.0;
+
+    EdgeId local = 0;
+    for (const Edge& e : g.edges()) {
+        const std::int64_t d = static_cast<std::int64_t>(e.src) -
+                               static_cast<std::int64_t>(e.dst);
+        if (std::llabs(d) < 4096)
+            ++local;
+    }
+    s.local_edge_fraction =
+        s.num_edges ? static_cast<double>(local) / s.num_edges : 0.0;
+    return s;
+}
+
+} // namespace gmoms

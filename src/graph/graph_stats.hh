@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Structural statistics of a graph — used by Table II reporting and by
+ * tests that check generator properties.
+ */
+
+#ifndef GMOMS_GRAPH_GRAPH_STATS_HH
+#define GMOMS_GRAPH_GRAPH_STATS_HH
+
+#include <cstdint>
+
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+struct GraphStats
+{
+    NodeId num_nodes = 0;
+    EdgeId num_edges = 0;
+    double avg_out_degree = 0.0;
+    std::uint32_t max_out_degree = 0;
+    std::uint32_t max_in_degree = 0;
+    /** Fraction of edges owned by the top 1% highest out-degree nodes —
+     *  a skew measure; power-law graphs score far above uniform ones. */
+    double top1pct_edge_share = 0.0;
+    /** Fraction of edges whose |src - dst| < 4096 — a cheap label-space
+     *  locality proxy; community-preserving labelings score high. */
+    double local_edge_fraction = 0.0;
+};
+
+GraphStats computeGraphStats(const CooGraph& g);
+
+} // namespace gmoms
+
+#endif // GMOMS_GRAPH_GRAPH_STATS_HH

@@ -1,0 +1,116 @@
+#include "src/graph/io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+namespace
+{
+
+constexpr std::uint64_t kBinaryMagic = 0x534d4f4d47ull;  // "GMOMS"
+
+} // namespace
+
+CooGraph
+loadEdgeList(const std::string& path, NodeId num_nodes_hint)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open edge list: " + path);
+    std::vector<Edge> edges;
+    NodeId max_node = 0;
+    bool all_weighted = true;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream ss(line);
+        std::uint64_t src, dst;
+        if (!(ss >> src >> dst))
+            fatal("malformed edge at " + path + ":" +
+                  std::to_string(line_no));
+        std::uint64_t weight;
+        if (ss >> weight) {
+            edges.push_back(Edge{static_cast<NodeId>(src),
+                                 static_cast<NodeId>(dst),
+                                 static_cast<std::uint32_t>(weight)});
+        } else {
+            all_weighted = false;
+            edges.push_back(Edge{static_cast<NodeId>(src),
+                                 static_cast<NodeId>(dst), 0});
+        }
+        max_node = std::max(max_node,
+                            static_cast<NodeId>(std::max(src, dst)));
+    }
+    const NodeId n = std::max<NodeId>(
+        edges.empty() ? num_nodes_hint : max_node + 1, num_nodes_hint);
+    CooGraph g(n, all_weighted && !edges.empty());
+    g.edges() = std::move(edges);
+    return g;
+}
+
+void
+saveEdgeList(const CooGraph& g, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write edge list: " + path);
+    out << "# nodes " << g.numNodes() << " edges " << g.numEdges()
+        << "\n";
+    for (const Edge& e : g.edges()) {
+        out << e.src << ' ' << e.dst;
+        if (g.weighted())
+            out << ' ' << e.weight;
+        out << '\n';
+    }
+}
+
+CooGraph
+loadBinary(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open binary graph: " + path);
+    std::uint64_t magic = 0, nodes = 0, edges = 0, weighted = 0;
+    in.read(reinterpret_cast<char*>(&magic), 8);
+    in.read(reinterpret_cast<char*>(&nodes), 8);
+    in.read(reinterpret_cast<char*>(&edges), 8);
+    in.read(reinterpret_cast<char*>(&weighted), 8);
+    if (!in || magic != kBinaryMagic)
+        fatal("not a gmoms binary graph: " + path);
+    CooGraph g(static_cast<NodeId>(nodes), weighted != 0);
+    g.edges().resize(edges);
+    in.read(reinterpret_cast<char*>(g.edges().data()),
+            static_cast<std::streamsize>(edges * sizeof(Edge)));
+    if (!in)
+        fatal("truncated binary graph: " + path);
+    return g;
+}
+
+void
+saveBinary(const CooGraph& g, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write binary graph: " + path);
+    const std::uint64_t magic = kBinaryMagic;
+    const std::uint64_t nodes = g.numNodes();
+    const std::uint64_t edges = g.numEdges();
+    const std::uint64_t weighted = g.weighted() ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&magic), 8);
+    out.write(reinterpret_cast<const char*>(&nodes), 8);
+    out.write(reinterpret_cast<const char*>(&edges), 8);
+    out.write(reinterpret_cast<const char*>(&weighted), 8);
+    out.write(reinterpret_cast<const char*>(g.edges().data()),
+              static_cast<std::streamsize>(edges * sizeof(Edge)));
+}
+
+} // namespace gmoms

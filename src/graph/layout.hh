@@ -1,0 +1,162 @@
+/**
+ * @file
+ * DRAM image of a partitioned graph (Fig. 4 of the paper).
+ *
+ * Layout, low to high addresses:
+ *   (i)   node arrays: V_DRAM,in, optional V_const, optional V_DRAM,out
+ *         (synchronous execution), each 32 bits per node;
+ *   (ii)  edges, organized by shard (destination-major), in 32-bit
+ *         compressed format with a terminating edge per shard;
+ *   (iii) edge pointers, one 64-bit entry per shard, carrying start
+ *         address, size and the active_srcs flag.
+ *
+ * Compressed edge word: [31] isTerminatingEdge, [30:15] source offset in
+ * its source interval (16 bits), [14:0] destination offset in its
+ * destination interval (15 bits). Weighted edges append a 32-bit weight
+ * word. Shards start 64-byte aligned; padding words carry the
+ * terminating flag so PEs ignore trailing data in the last DRAM word.
+ */
+
+#ifndef GMOMS_GRAPH_LAYOUT_HH
+#define GMOMS_GRAPH_LAYOUT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "src/graph/partition.hh"
+#include "src/mem/backing_store.hh"
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+/** Compressed 32-bit edge word helpers. */
+namespace edgeword
+{
+
+inline constexpr std::uint32_t kTerminating = 0x80000000u;
+
+constexpr std::uint32_t
+pack(std::uint32_t src_off, std::uint32_t dst_off)
+{
+    return ((src_off & 0xffffu) << 15) | (dst_off & 0x7fffu);
+}
+
+constexpr bool isTerminating(std::uint32_t w) { return w & kTerminating; }
+constexpr std::uint32_t srcOff(std::uint32_t w)
+{
+    return (w >> 15) & 0xffffu;
+}
+constexpr std::uint32_t dstOff(std::uint32_t w) { return w & 0x7fffu; }
+
+} // namespace edgeword
+
+/** 64-bit edge-pointer entry helpers: [63] active, [62:40] size in
+ *  32-bit words, [39:0] start word address. */
+namespace edgeptr
+{
+
+inline constexpr std::uint64_t kActive = 1ull << 63;
+
+constexpr std::uint64_t
+pack(std::uint64_t start_word, std::uint64_t size_words, bool active)
+{
+    return (active ? kActive : 0) | ((size_words & 0x7fffffull) << 40) |
+           (start_word & 0xffffffffffull);
+}
+
+constexpr bool isActive(std::uint64_t p) { return p & kActive; }
+constexpr std::uint64_t sizeWords(std::uint64_t p)
+{
+    return (p >> 40) & 0x7fffffull;
+}
+constexpr std::uint64_t startWord(std::uint64_t p)
+{
+    return p & 0xffffffffffull;
+}
+
+} // namespace edgeptr
+
+/**
+ * Builds and indexes the DRAM image of one partitioned graph.
+ *
+ * The builder writes into a BackingStore; all section base addresses are
+ * then available for the scheduler to hand to PEs as job parameters.
+ */
+class GraphLayout
+{
+  public:
+    struct Options
+    {
+        bool has_const = false;    //!< allocate/populate V_const
+        bool synchronous = false;  //!< allocate V_DRAM,out
+        /** Initial value of V_DRAM,in for a node. */
+        std::function<std::uint32_t(NodeId)> init_value;
+        /** Value of V_const for a node (used when has_const). */
+        std::function<std::uint32_t(NodeId)> const_value;
+    };
+
+    GraphLayout(const PartitionedGraph& pg, const Options& opts);
+
+    /** Total bytes needed; call before build() to size the store. */
+    std::uint64_t totalBytes() const { return total_bytes_; }
+
+    /** Write the full image into @p store (resizing if needed). */
+    void build(const PartitionedGraph& pg, BackingStore& store);
+
+    // --- section bases --------------------------------------------------
+    Addr vInBase() const { return v_in_base_; }
+    Addr vOutBase() const { return v_out_base_; }
+    Addr vConstBase() const { return v_const_base_; }
+    Addr edgeBase() const { return edge_base_; }
+    Addr ptrBase() const { return ptr_base_; }
+
+    Addr vInAddr(NodeId n) const { return v_in_base_ + 4ull * n; }
+    Addr vOutAddr(NodeId n) const { return v_out_base_ + 4ull * n; }
+    Addr vConstAddr(NodeId n) const { return v_const_base_ + 4ull * n; }
+
+    /** Address of the edge-pointer entry for shard E_{s->d}. */
+    Addr
+    ptrAddr(std::uint32_t s, std::uint32_t d) const
+    {
+        return ptr_base_ +
+               8ull * (static_cast<std::uint64_t>(d) * qs_ + s);
+    }
+
+    /** Swap the in/out node arrays (synchronous execution only). */
+    void swapInOut();
+
+    /** Set/clear the active_srcs flag of shard E_{s->d} in the store. */
+    void setActive(BackingStore& store, std::uint32_t s, std::uint32_t d,
+                   bool active) const;
+    bool isActive(const BackingStore& store, std::uint32_t s,
+                  std::uint32_t d) const;
+
+    bool synchronous() const { return synchronous_; }
+    bool weighted() const { return weighted_; }
+    bool hasConst() const { return has_const_; }
+    std::uint32_t qs() const { return qs_; }
+    std::uint32_t qd() const { return qd_; }
+
+    /** Bytes occupied by the edge section (useful traffic accounting). */
+    std::uint64_t edgeSectionBytes() const { return ptr_base_ - edge_base_; }
+
+  private:
+    bool has_const_ = false;
+    bool synchronous_ = false;
+    bool weighted_ = false;
+    std::uint32_t qs_ = 0, qd_ = 0;
+    NodeId num_nodes_ = 0;
+    Options opts_;
+
+    Addr v_in_base_ = 0;
+    Addr v_const_base_ = 0;
+    Addr v_out_base_ = 0;
+    Addr edge_base_ = 0;
+    Addr ptr_base_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_GRAPH_LAYOUT_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Interval-based O(M) graph partitioning (Section III-A, Fig. 3).
+ *
+ * Nodes are split into Qd destination intervals of Nd nodes and Qs source
+ * intervals of Ns nodes; edges are bucketed into Qs x Qd shards. Shards
+ * are stored destination-major so that all shards of one job (destination
+ * interval) are contiguous.
+ */
+
+#ifndef GMOMS_GRAPH_PARTITION_HH
+#define GMOMS_GRAPH_PARTITION_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+/** Compressed-edge limits imposed by the 32-bit edge encoding (Fig. 4). */
+inline constexpr std::uint32_t kMaxDstIntervalNodes = 1u << 15;
+inline constexpr std::uint32_t kMaxSrcIntervalNodes = 1u << 16;
+
+class PartitionedGraph
+{
+  public:
+    /**
+     * Bucket @p g into shards. O(M) counting sort by shard; the relative
+     * order of edges within a shard is preserved.
+     *
+     * @param nd Destination interval size, <= 32768 (15-bit offsets).
+     * @param ns Source interval size, <= 65536 (16-bit offsets).
+     */
+    PartitionedGraph(const CooGraph& g, std::uint32_t nd, std::uint32_t ns);
+
+    NodeId numNodes() const { return num_nodes_; }
+    EdgeId numEdges() const { return edges_.size(); }
+    bool weighted() const { return weighted_; }
+
+    std::uint32_t nd() const { return nd_; }
+    std::uint32_t ns() const { return ns_; }
+    std::uint32_t qd() const { return qd_; }
+    std::uint32_t qs() const { return qs_; }
+
+    /** Index of shard E_{s->d} in the flat shard arrays. */
+    std::uint32_t
+    shardIndex(std::uint32_t s, std::uint32_t d) const
+    {
+        return d * qs_ + s;
+    }
+
+    /** Edges of shard E_{s->d}; offsets are relative to the intervals. */
+    std::span<const Edge>
+    shardEdges(std::uint32_t s, std::uint32_t d) const
+    {
+        const std::uint32_t idx = shardIndex(s, d);
+        return {edges_.data() + shard_offsets_[idx],
+                edges_.data() + shard_offsets_[idx + 1]};
+    }
+
+    EdgeId
+    shardSize(std::uint32_t s, std::uint32_t d) const
+    {
+        const std::uint32_t idx = shardIndex(s, d);
+        return shard_offsets_[idx + 1] - shard_offsets_[idx];
+    }
+
+    /** Number of nodes in destination interval @p d (last may be short). */
+    std::uint32_t dstIntervalNodes(std::uint32_t d) const;
+
+    /** First node of destination interval @p d. */
+    NodeId dstIntervalBase(std::uint32_t d) const
+    {
+        return static_cast<NodeId>(d) * nd_;
+    }
+
+    /** Destination interval that owns node @p n. */
+    std::uint32_t dstIntervalOf(NodeId n) const { return n / nd_; }
+
+    /** Source interval that owns node @p n. */
+    std::uint32_t srcIntervalOf(NodeId n) const { return n / ns_; }
+
+    /** Total in-edges per destination interval (job sizes). */
+    std::vector<EdgeId> jobSizes() const;
+
+  private:
+    NodeId num_nodes_ = 0;
+    bool weighted_ = false;
+    std::uint32_t nd_ = 0, ns_ = 0, qd_ = 0, qs_ = 0;
+    std::vector<EdgeId> shard_offsets_;  //!< size qd*qs + 1
+    std::vector<Edge> edges_;            //!< bucketed by shard
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_GRAPH_PARTITION_HH

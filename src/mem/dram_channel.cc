@@ -1,0 +1,115 @@
+#include "src/mem/dram_channel.hh"
+
+#include <limits>
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+DramChannel::DramChannel(const Engine& engine, std::string name,
+                         const DramConfig& cfg, std::uint32_t num_ports)
+    : Component(std::move(name)), engine_(engine), cfg_(cfg),
+      open_row_(cfg.num_banks, std::numeric_limits<std::uint64_t>::max())
+{
+    if (num_ports == 0)
+        fatal("DramChannel needs at least one port");
+    req_ports_.reserve(num_ports);
+    resp_ports_.reserve(num_ports);
+    for (std::uint32_t p = 0; p < num_ports; ++p) {
+        req_ports_.push_back(std::make_unique<TimedQueue<MemReq>>(
+            engine_, cfg.port_queue_depth, 1));
+        resp_ports_.push_back(std::make_unique<TimedQueue<MemResp>>(
+            engine_, cfg.resp_queue_depth, 1));
+    }
+}
+
+Cycle
+DramChannel::serviceCycles(const MemReq& req)
+{
+    Cycle occupancy = ceilDiv(req.bytes, cfg_.bus_bytes_per_cycle) +
+                      cfg_.request_overhead_cycles;
+    const std::uint64_t row = req.addr / cfg_.row_bytes;
+    const std::uint32_t bank =
+        static_cast<std::uint32_t>(row % cfg_.num_banks);
+    if (open_row_[bank] == row) {
+        ++stats_.row_hits;
+    } else {
+        ++stats_.row_misses;
+        open_row_[bank] = row;
+        occupancy += cfg_.row_miss_extra_cycles;
+    }
+    return occupancy;
+}
+
+void
+DramChannel::tick()
+{
+    const Cycle now = engine_.now();
+
+    // Deliver completed transactions (completions are in service order
+    // because latency is constant and bus service is serialized).
+    while (!in_flight_.empty() && in_flight_.front().complete_at <= now) {
+        InFlight& f = in_flight_.front();
+        if (!resp_ports_[f.port]->canPush())
+            break;  // backpressure: retry next cycle
+        resp_ports_[f.port]->push(f.resp);
+        in_flight_.pop_front();
+    }
+
+    // Accept one new transaction per cycle, round-robin across ports.
+    if (bus_free_at_ > now)
+        return;  // data bus still busy with the previous transaction
+    const std::uint32_t n = numPorts();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t p = (next_port_ + i) % n;
+        TimedQueue<MemReq>& rq = *req_ports_[p];
+        if (!rq.canPop())
+            continue;
+        MemReq req = rq.pop();
+        const Cycle start = std::max(now, bus_free_at_);
+        const Cycle occupancy = serviceCycles(req);
+        bus_free_at_ = start + occupancy;
+        stats_.busy_cycles += occupancy;
+        if (req.write) {
+            ++stats_.writes;
+            stats_.bytes_written += req.bytes;
+        } else {
+            ++stats_.reads;
+            stats_.bytes_read += req.bytes;
+        }
+        in_flight_.push_back(InFlight{
+            MemResp{req.addr, req.bytes, req.tag, req.write}, p,
+            bus_free_at_ + cfg_.load_latency_cycles});
+        next_port_ = (p + 1) % n;
+        break;
+    }
+}
+
+bool
+DramChannel::idle() const
+{
+    if (!in_flight_.empty())
+        return false;
+    for (const auto& rq : req_ports_)
+        if (!rq->empty())
+            return false;
+    for (const auto& rp : resp_ports_)
+        if (!rp->empty())
+            return false;
+    return true;
+}
+
+void
+DramChannel::registerStats(StatRegistry& reg) const
+{
+    reg.addCounter(name() + ".reads", &stats_.reads);
+    reg.addCounter(name() + ".writes", &stats_.writes);
+    reg.addCounter(name() + ".bytes_read", &stats_.bytes_read);
+    reg.addCounter(name() + ".bytes_written", &stats_.bytes_written);
+    reg.addCounter(name() + ".row_hits", &stats_.row_hits);
+    reg.addCounter(name() + ".row_misses", &stats_.row_misses);
+    reg.addCounter(name() + ".busy_cycles", &stats_.busy_cycles);
+}
+
+} // namespace gmoms

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Timed model of one DDR4 channel behind the AWS f1 shell.
+ *
+ * The channel owns one (request, response) queue pair per attached
+ * requester port. Each cycle it arbitrates round-robin among ports with a
+ * pending request, charges bus occupancy (size / bus width + fixed
+ * overhead + row-miss penalty) and schedules the completion after the
+ * loaded latency. Bus service is serialized, which is what bounds the
+ * channel's bandwidth.
+ */
+
+#ifndef GMOMS_MEM_DRAM_CHANNEL_HH
+#define GMOMS_MEM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/mem/dram_config.hh"
+#include "src/mem/mem_types.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/timed_queue.hh"
+
+namespace gmoms
+{
+
+class DramChannel : public Component
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t bytes_read = 0;
+        std::uint64_t bytes_written = 0;
+        std::uint64_t row_hits = 0;
+        std::uint64_t row_misses = 0;
+        std::uint64_t busy_cycles = 0;  //!< cycles the data bus was occupied
+    };
+
+    DramChannel(const Engine& engine, std::string name,
+                const DramConfig& cfg, std::uint32_t num_ports);
+
+    /** Request queue for requester port @p port. */
+    TimedQueue<MemReq>& reqPort(std::uint32_t port)
+    {
+        return *req_ports_[port];
+    }
+
+    /** Response queue for requester port @p port. */
+    TimedQueue<MemResp>& respPort(std::uint32_t port)
+    {
+        return *resp_ports_[port];
+    }
+
+    std::uint32_t numPorts() const
+    {
+        return static_cast<std::uint32_t>(req_ports_.size());
+    }
+
+    void tick() override;
+
+    const Stats& stats() const { return stats_; }
+    const DramConfig& config() const { return cfg_; }
+
+    /** True when no request is queued or in flight. */
+    bool idle() const;
+
+    void registerStats(StatRegistry& reg) const;
+
+  private:
+    struct InFlight
+    {
+        MemResp resp;
+        std::uint32_t port;
+        Cycle complete_at;
+    };
+
+    /** Bus occupancy of @p req in cycles, including row-buffer effects. */
+    Cycle serviceCycles(const MemReq& req);
+
+    const Engine& engine_;
+    DramConfig cfg_;
+    std::vector<std::unique_ptr<TimedQueue<MemReq>>> req_ports_;
+    std::vector<std::unique_ptr<TimedQueue<MemResp>>> resp_ports_;
+    std::vector<std::uint64_t> open_row_;   //!< open row per bank
+    std::deque<InFlight> in_flight_;        //!< completions in order
+    Cycle bus_free_at_ = 0;
+    std::uint32_t next_port_ = 0;           //!< round-robin pointer
+    Stats stats_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_MEM_DRAM_CHANNEL_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Request/response tokens exchanged with the DRAM memory system.
+ *
+ * Data does not travel in these tokens: the simulator keeps the actual
+ * memory image in a BackingStore that producers write at issue time and
+ * consumers read at delivery time. Only timing flows through the queues.
+ */
+
+#ifndef GMOMS_MEM_MEM_TYPES_HH
+#define GMOMS_MEM_MEM_TYPES_HH
+
+#include <cstdint>
+
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+/** A read or write transaction presented to a DRAM channel. */
+struct MemReq
+{
+    Addr addr = 0;           //!< byte address (global address space)
+    std::uint32_t bytes = 0; //!< transfer size; never crosses a 2048 B
+                             //!< interleave boundary
+    std::uint64_t tag = 0;   //!< requester-chosen id echoed in the response
+    bool write = false;
+};
+
+/** Completion token for a MemReq. */
+struct MemResp
+{
+    Addr addr = 0;
+    std::uint32_t bytes = 0;
+    std::uint64_t tag = 0;
+    bool write = false;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_MEM_MEM_TYPES_HH

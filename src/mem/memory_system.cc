@@ -1,0 +1,91 @@
+#include "src/mem/memory_system.hh"
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+MemorySystem::MemorySystem(Engine& engine, const DramConfig& cfg,
+                           std::uint32_t num_channels,
+                           std::uint32_t num_ports)
+{
+    if (num_channels == 0)
+        fatal("MemorySystem needs at least one channel");
+    channels_.reserve(num_channels);
+    for (std::uint32_t c = 0; c < num_channels; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            engine, "dram.ch" + std::to_string(c), cfg, num_ports));
+        engine.add(channels_.back().get());
+    }
+}
+
+std::uint64_t
+MemorySystem::totalBytesRead() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ch : channels_)
+        total += ch->stats().bytes_read;
+    return total;
+}
+
+std::uint64_t
+MemorySystem::totalBytesWritten() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ch : channels_)
+        total += ch->stats().bytes_written;
+    return total;
+}
+
+bool
+MemorySystem::idle() const
+{
+    for (const auto& ch : channels_)
+        if (!ch->idle())
+            return false;
+    return true;
+}
+
+bool
+MemPort::send(const MemReq& req)
+{
+    const Addr last = req.addr + req.bytes - 1;
+    if (req.addr / kInterleaveBytes != last / kInterleaveBytes)
+        panic("MemPort request crosses interleave boundary; the issuer "
+              "must split bursts at 2048 B");
+    return sys_->channels_[sys_->channelOf(req.addr)]
+        ->reqPort(port_).push(req);
+}
+
+bool
+MemPort::canSend(Addr addr) const
+{
+    return sys_->channels_[sys_->channelOf(addr)]->reqPort(port_).canPush();
+}
+
+std::optional<MemResp>
+MemPort::receive()
+{
+    const std::uint32_t n = sys_->numChannels();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t c = (rr_ + i) % n;
+        auto& q = sys_->channels_[c]->respPort(port_);
+        if (q.canPop()) {
+            rr_ = (c + 1) % n;
+            return q.pop();
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+MemPort::hasResponse() const
+{
+    const std::uint32_t n = sys_->numChannels();
+    for (std::uint32_t c = 0; c < n; ++c)
+        if (sys_->channels_[c]->respPort(port_).canPop())
+            return true;
+    return false;
+}
+
+} // namespace gmoms

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Multi-channel DRAM system with 2048-byte address interleaving and
+ * per-requester ports (Section IV-B of the paper).
+ */
+
+#ifndef GMOMS_MEM_MEMORY_SYSTEM_HH
+#define GMOMS_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/mem/backing_store.hh"
+#include "src/mem/dram_channel.hh"
+#include "src/mem/dram_config.hh"
+#include "src/sim/engine.hh"
+
+namespace gmoms
+{
+
+class MemorySystem;
+
+/**
+ * One requester's window onto all channels.
+ *
+ * send() routes by address to the owning channel; receive() polls the
+ * requester's response queues round-robin. Requests must not cross an
+ * interleave boundary — the issuing logic (DMA, MOMS bank) splits there.
+ */
+class MemPort
+{
+  public:
+    MemPort() = default;
+    MemPort(MemorySystem* sys, std::uint32_t port_index)
+        : sys_(sys), port_(port_index) {}
+
+    /** Try to issue @p req; false when the target channel port is full. */
+    bool send(const MemReq& req);
+
+    /** Whether a send to @p addr would be accepted this cycle. */
+    bool canSend(Addr addr) const;
+
+    /** Pop one completed transaction, if any arrived. */
+    std::optional<MemResp> receive();
+
+    /** True when a response is waiting. */
+    bool hasResponse() const;
+
+  private:
+    MemorySystem* sys_ = nullptr;
+    std::uint32_t port_ = 0;
+    mutable std::uint32_t rr_ = 0;
+
+    friend class MemorySystem;
+};
+
+/**
+ * The full external memory: N interleaved DDR4 channels plus the
+ * functional backing store.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param num_channels  DDR4 channels (1, 2 or 4 on AWS f1).
+     * @param num_ports     requester ports replicated on every channel.
+     */
+    MemorySystem(Engine& engine, const DramConfig& cfg,
+                 std::uint32_t num_channels, std::uint32_t num_ports);
+
+    /** Channel that owns byte address @p addr. */
+    std::uint32_t
+    channelOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(
+            (addr / kInterleaveBytes) % channels_.size());
+    }
+
+    MemPort port(std::uint32_t p) { return MemPort(this, p); }
+
+    std::uint32_t numChannels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    DramChannel& channel(std::uint32_t c) { return *channels_[c]; }
+    const DramChannel& channel(std::uint32_t c) const
+    {
+        return *channels_[c];
+    }
+
+    BackingStore& store() { return store_; }
+    const BackingStore& store() const { return store_; }
+
+    /** Aggregate bytes moved on all channels. */
+    std::uint64_t totalBytesRead() const;
+    std::uint64_t totalBytesWritten() const;
+
+    bool idle() const;
+
+  private:
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    BackingStore store_;
+
+    friend class MemPort;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_MEM_MEMORY_SYSTEM_HH

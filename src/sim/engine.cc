@@ -1,0 +1,27 @@
+#include "src/sim/engine.hh"
+
+namespace gmoms
+{
+
+void
+Engine::tick()
+{
+    for (Component* c : components_)
+        c->tick();
+    ++now_;
+}
+
+bool
+Engine::runUntil(const std::function<bool()>& done, Cycle max_cycles)
+{
+    Cycle deadline =
+        max_cycles == kCycleNever ? kCycleNever : now_ + max_cycles;
+    while (now_ < deadline) {
+        if (done())
+            return true;
+        tick();
+    }
+    return done();
+}
+
+} // namespace gmoms

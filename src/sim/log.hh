@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() flags an internal simulator bug (aborts); fatal() flags a user
+ * configuration error (clean exit); warn()/inform() report conditions the
+ * user should know about without stopping the run.
+ */
+
+#ifndef GMOMS_SIM_LOG_HH
+#define GMOMS_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gmoms
+{
+
+/** Thrown by fatal(): the configuration (user input) is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+/** Thrown by panic(): the simulator itself is broken. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what)
+        : std::logic_error(what) {}
+};
+
+/** Report an unrecoverable user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+/** Report an internal invariant violation (a simulator bug). */
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+/** Nonfatal warning to stderr. */
+inline void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational message to stderr. */
+inline void
+inform(const std::string& msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_LOG_HH

@@ -1,0 +1,60 @@
+#include "src/sim/report.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace gmoms
+{
+
+void
+JsonReport::writeEscaped(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+JsonReport::write(std::ostream& os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto& [key, value] : entries_) {
+        if (!first)
+            os << ',';
+        first = false;
+        writeEscaped(os, key);
+        os << ':';
+        if (const auto* s = std::get_if<std::string>(&value)) {
+            writeEscaped(os, *s);
+        } else if (const auto* d = std::get_if<double>(&value)) {
+            if (std::isfinite(*d))
+                os << *d;
+            else
+                os << "null";
+        } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+            os << *u;
+        } else {
+            os << (std::get<bool>(value) ? "true" : "false");
+        }
+    }
+    os << '}';
+}
+
+std::string
+JsonReport::str() const
+{
+    std::ostringstream ss;
+    write(ss);
+    return ss.str();
+}
+
+} // namespace gmoms

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Machine-readable result export: RunResult and counter snapshots as
+ * JSON, so downstream tooling (plotting scripts, CI tracking) can
+ * consume bench output without scraping tables.
+ */
+
+#ifndef GMOMS_SIM_REPORT_HH
+#define GMOMS_SIM_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gmoms
+{
+
+/** A flat JSON-object builder (string/number/bool leaves only). */
+class JsonReport
+{
+  public:
+    using Value = std::variant<std::string, double, std::uint64_t, bool>;
+
+    JsonReport& set(const std::string& key, Value value)
+    {
+        entries_.emplace_back(key, std::move(value));
+        return *this;
+    }
+
+    /** Serialize as a single JSON object (keys in insertion order). */
+    void write(std::ostream& os) const;
+
+    std::string str() const;
+
+  private:
+    static void writeEscaped(std::ostream& os, const std::string& s);
+
+    std::vector<std::pair<std::string, Value>> entries_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_REPORT_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal statistics registry.
+ *
+ * Components own plain uint64_t / double counters and register them by
+ * name; the registry can render all counters as a table or export a flat
+ * map. Lookup by dotted path supports test assertions.
+ */
+
+#ifndef GMOMS_SIM_STATS_HH
+#define GMOMS_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace gmoms
+{
+
+class StatRegistry
+{
+  public:
+    /** Register (or re-point) an integer counter under @p path. */
+    void
+    addCounter(const std::string& path, const std::uint64_t* counter)
+    {
+        stats_[path] = counter;
+    }
+
+    /** Register a floating-point gauge under @p path. */
+    void
+    addGauge(const std::string& path, const double* gauge)
+    {
+        stats_[path] = gauge;
+    }
+
+    /** Current value of a registered stat as double; 0 when missing. */
+    double
+    value(const std::string& path) const
+    {
+        auto it = stats_.find(path);
+        if (it == stats_.end())
+            return 0.0;
+        if (const auto* const* c = std::get_if<const std::uint64_t*>(
+                &it->second))
+            return static_cast<double>(**c);
+        return *std::get<const double*>(it->second);
+    }
+
+    bool has(const std::string& path) const { return stats_.count(path); }
+
+    /** Dump all stats, sorted by path, one per line. */
+    void
+    dump(std::ostream& os) const
+    {
+        for (const auto& [path, v] : stats_) {
+            os << path << " = ";
+            if (const auto* const* c =
+                    std::get_if<const std::uint64_t*>(&v)) {
+                os << **c;
+            } else {
+                os << *std::get<const double*>(v);
+            }
+            os << '\n';
+        }
+    }
+
+    std::size_t size() const { return stats_.size(); }
+
+  private:
+    using Entry = std::variant<const std::uint64_t*, const double*>;
+    std::map<std::string, Entry> stats_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_STATS_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Latency- and capacity-bounded FIFO link between components.
+ *
+ * A TimedQueue models a registered point-to-point link: tokens pushed in
+ * cycle c become poppable at cycle c + latency. Capacity provides
+ * backpressure: push() fails when the queue is full, and the producer must
+ * retry in a later cycle (exactly like a ready/valid handshake).
+ *
+ * Die crossings (Fig. 5 of the paper) are modelled by raising the latency
+ * to the crossing delay and ensuring capacity >= latency + 2, mirroring the
+ * paper's "queue needs at least four slots" observation for a 2-cycle
+ * ready-propagation delay.
+ */
+
+#ifndef GMOMS_SIM_TIMED_QUEUE_HH
+#define GMOMS_SIM_TIMED_QUEUE_HH
+
+#include <cassert>
+#include <deque>
+#include <utility>
+
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+template <typename T>
+class TimedQueue
+{
+  public:
+    /**
+     * @param engine   Engine providing the clock.
+     * @param capacity Maximum number of in-flight tokens.
+     * @param latency  Cycles between push and earliest pop (>= 1).
+     */
+    TimedQueue(const Engine& engine, std::size_t capacity, Cycle latency = 1)
+        : engine_(&engine), capacity_(capacity), latency_(latency)
+    {
+        assert(latency_ >= 1 && "zero-latency links break tick-order "
+               "independence");
+        assert(capacity_ >= 1);
+    }
+
+    /** True if a push this cycle would be accepted. */
+    bool canPush() const { return q_.size() < capacity_; }
+
+    /** Free slots right now. */
+    std::size_t freeSlots() const { return capacity_ - q_.size(); }
+
+    /**
+     * Push a token; visible to the consumer after the link latency.
+     * @return false (token not enqueued) when the queue is full.
+     */
+    bool
+    push(T item)
+    {
+        if (!canPush())
+            return false;
+        q_.push_back(Slot{std::move(item), engine_->now() + latency_});
+        return true;
+    }
+
+    /** True if the head token has arrived and can be popped this cycle. */
+    bool
+    canPop() const
+    {
+        return !q_.empty() && q_.front().ready <= engine_->now();
+    }
+
+    /** Head token; only valid when canPop(). */
+    const T&
+    front() const
+    {
+        assert(canPop());
+        return q_.front().item;
+    }
+
+    /** Remove and return the head token; only valid when canPop(). */
+    T
+    pop()
+    {
+        assert(canPop());
+        T item = std::move(q_.front().item);
+        q_.pop_front();
+        return item;
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    Cycle latency() const { return latency_; }
+
+  private:
+    struct Slot
+    {
+        T item;
+        Cycle ready;
+    };
+
+    const Engine* engine_;
+    std::size_t capacity_;
+    Cycle latency_;
+    std::deque<Slot> q_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_TIMED_QUEUE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the gmoms simulator.
+ */
+
+#ifndef GMOMS_SIM_TYPES_HH
+#define GMOMS_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace gmoms
+{
+
+/** Simulated clock cycle count (accelerator clock domain). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the global (interleaved) DRAM address space. */
+using Addr = std::uint64_t;
+
+/** Node identifier. Table II graphs have up to 118M nodes; 32 bits fit. */
+using NodeId = std::uint32_t;
+
+/** Edge index. Table II graphs have up to ~2B edges; 64 bits to be safe. */
+using EdgeId = std::uint64_t;
+
+/** Sentinel for "no cycle" / "never". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid node. */
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** DRAM cache line size in bytes used throughout the memory system. */
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/** Channel interleaving granularity (Section IV-B of the paper). */
+inline constexpr std::uint32_t kInterleaveBytes = 2048;
+
+/** Align @p v down to a multiple of @p a (power of two). */
+constexpr Addr
+alignDown(Addr v, std::uint64_t a)
+{
+    return v & ~(a - 1);
+}
+
+/** Align @p v up to a multiple of @p a (power of two). */
+constexpr Addr
+alignUp(Addr v, std::uint64_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+/** Integer ceil division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t n, std::uint64_t d)
+{
+    return (n + d - 1) / d;
+}
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr std::uint32_t
+log2Exact(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (v > 1) { v >>= 1; ++r; }
+    return r;
+}
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_TYPES_HH

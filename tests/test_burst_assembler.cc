@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the DynaBurst burst assembler extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/accel/accelerator.hh"
+#include "src/algo/golden.hh"
+#include "src/cache/burst_assembler.hh"
+#include "src/graph/generator.hh"
+#include "src/sim/engine.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+struct AssemblerFixture : public ::testing::Test
+{
+    Engine eng;
+    DramConfig dram_cfg;
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<BurstAssembler> asm_;
+
+    void
+    make(BurstAssemblerConfig cfg = {})
+    {
+        mem = std::make_unique<MemorySystem>(eng, dram_cfg, 1, 1);
+        mem->store().resize(1 << 20);
+        asm_ = std::make_unique<BurstAssembler>(eng, "dynaburst", cfg,
+                                                mem->port(0));
+        eng.add(asm_.get());
+    }
+
+    std::set<Addr>
+    collect(std::size_t expected)
+    {
+        std::set<Addr> lines;
+        eng.runUntil(
+            [&] {
+                while (auto line = asm_->receive())
+                    lines.insert(*line);
+                return lines.size() >= expected;
+            },
+            100000);
+        return lines;
+    }
+};
+
+TEST_F(AssemblerFixture, AdjacentLinesShareOneBurst)
+{
+    make();
+    for (Addr line : {0x1000, 0x1040, 0x1080})
+        asm_->send(line);
+    auto lines = collect(3);
+    EXPECT_EQ(lines, (std::set<Addr>{0x1000, 0x1040, 0x1080}));
+    EXPECT_EQ(asm_->stats().bursts, 1u);
+    EXPECT_EQ(asm_->stats().lines_fetched, 3u);
+    EXPECT_EQ(mem->channel(0).stats().reads, 1u);
+    EXPECT_EQ(mem->channel(0).stats().bytes_read, 3u * 64);
+}
+
+TEST_F(AssemblerFixture, GapsAreFetchedAsFiller)
+{
+    make();
+    asm_->send(0x2000);
+    asm_->send(0x2000 + 3 * 64);  // lines 0 and 3: span of 4
+    auto lines = collect(2);
+    EXPECT_EQ(lines.size(), 2u);
+    EXPECT_EQ(asm_->stats().bursts, 1u);
+    EXPECT_EQ(asm_->stats().lines_fetched, 4u) << "span includes filler";
+}
+
+TEST_F(AssemblerFixture, DistantLinesUseSeparateBursts)
+{
+    make();
+    asm_->send(0x0000);
+    asm_->send(0x8000);
+    collect(2);
+    EXPECT_EQ(asm_->stats().bursts, 2u);
+}
+
+TEST_F(AssemblerFixture, WindowTimesOutWhenAlone)
+{
+    BurstAssemblerConfig cfg;
+    cfg.wait_cycles = 5;
+    make(cfg);
+    asm_->send(0x3000);
+    auto lines = collect(1);
+    EXPECT_EQ(*lines.begin(), 0x3000u);
+    EXPECT_EQ(asm_->stats().timeouts, 1u);
+}
+
+TEST_F(AssemblerFixture, FullWindowFlushesImmediately)
+{
+    BurstAssemblerConfig cfg;
+    cfg.window_lines = 4;
+    cfg.wait_cycles = 1000;  // would never time out in this test
+    make(cfg);
+    for (Addr i = 0; i < 4; ++i)
+        asm_->send(0x4000 + i * 64);
+    auto lines = collect(4);
+    EXPECT_EQ(lines.size(), 4u);
+    EXPECT_EQ(asm_->stats().timeouts, 0u);
+}
+
+TEST_F(AssemblerFixture, BackpressureRespectsMaxWindows)
+{
+    BurstAssemblerConfig cfg;
+    cfg.max_open_windows = 2;
+    cfg.wait_cycles = 1000;
+    make(cfg);
+    ASSERT_TRUE(asm_->canSend(0x0000));
+    asm_->send(0x0000);
+    ASSERT_TRUE(asm_->canSend(0x10000));
+    asm_->send(0x10000);
+    EXPECT_FALSE(asm_->canSend(0x20000)) << "third window refused";
+    EXPECT_TRUE(asm_->canSend(0x0040)) << "existing window still open";
+}
+
+TEST_F(AssemblerFixture, RejectsBadWindowGeometry)
+{
+    EXPECT_THROW(
+        BurstAssembler(eng, "x", BurstAssemblerConfig{0, 8, 16},
+                       MemPort{}),
+        FatalError);
+    EXPECT_THROW(
+        BurstAssembler(eng, "x", BurstAssemblerConfig{3, 8, 16},
+                       MemPort{}),
+        FatalError);
+    EXPECT_THROW(
+        BurstAssembler(eng, "x",
+                       BurstAssemblerConfig{64, 8, 16}, MemPort{}),
+        FatalError);
+}
+
+TEST(DynaBurstIntegration, AcceleratorStaysCorrectWithDynaBurst)
+{
+    CooGraph g = rmat(10, 8000, RmatParams{}, 5);
+    AlgoSpec spec = AlgoSpec::scc(g.numNodes());
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.num_channels = 2;
+    cfg.moms = MomsConfig::twoLevel(4);
+    cfg.moms.dynaburst = true;
+    PartitionedGraph pg(g, 256, 512);
+    Accelerator accel(cfg, pg, spec);
+    RunResult res = accel.run();
+    EXPECT_EQ(res.raw_values, goldenMinLabel(g));
+    // The assembler must actually have merged something.
+    std::uint64_t bursts = 0, line_reqs = 0;
+    // (stats are internal to the MomsSystem; verify via DRAM counters:
+    // fewer read transactions than lines fetched.)
+    for (std::uint32_t c = 0; c < 2; ++c) {
+        bursts += accel.mem().channel(c).stats().reads;
+        line_reqs += accel.mem().channel(c).stats().bytes_read / 64;
+    }
+    EXPECT_LT(bursts, line_reqs) << "some bursts span multiple lines";
+}
+
+} // namespace
+} // namespace gmoms

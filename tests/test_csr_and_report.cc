@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the CSR substrate and the JSON report writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/graph/csr.hh"
+#include "src/graph/generator.hh"
+#include "src/sim/report.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+TEST(Csr, RoundtripPreservesEdgesRowMajor)
+{
+    CooGraph g = uniformRandom(200, 2000, 3);
+    addRandomWeights(g, 5);
+    CsrGraph csr(g);
+    EXPECT_EQ(csr.numNodes(), g.numNodes());
+    EXPECT_EQ(csr.numEdges(), g.numEdges());
+
+    // Every COO edge appears under its source row with its weight.
+    std::vector<std::multiset<std::pair<NodeId, std::uint32_t>>>
+        expected(g.numNodes());
+    for (const Edge& e : g.edges())
+        expected[e.src].insert({e.dst, e.weight});
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        auto nbrs = csr.neighbors(n);
+        auto w = csr.weights(n);
+        ASSERT_EQ(nbrs.size(), expected[n].size());
+        std::multiset<std::pair<NodeId, std::uint32_t>> got;
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            got.insert({nbrs[i], w[i]});
+        EXPECT_EQ(got, expected[n]);
+    }
+
+    CooGraph back = csr.toCoo();
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    EXPECT_EQ(back.outDegrees(), g.outDegrees());
+    EXPECT_EQ(back.inDegrees(), g.inDegrees());
+}
+
+TEST(Csr, DegreesMatchCoo)
+{
+    CooGraph g = rmat(11, 20000, RmatParams{}, 9);
+    CsrGraph csr(g);
+    auto deg = g.outDegrees();
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        EXPECT_EQ(csr.outDegree(n), deg[n]);
+}
+
+TEST(Csr, UnweightedHasEmptyWeightSpans)
+{
+    CooGraph g = uniformRandom(50, 300, 1);
+    CsrGraph csr(g);
+    EXPECT_FALSE(csr.weighted());
+    EXPECT_TRUE(csr.weights(0).empty());
+}
+
+TEST(Csr, EmptyRowsHandled)
+{
+    CooGraph g(10);
+    g.addEdge(3, 7);
+    CsrGraph csr(g);
+    EXPECT_TRUE(csr.neighbors(0).empty());
+    ASSERT_EQ(csr.neighbors(3).size(), 1u);
+    EXPECT_EQ(csr.neighbors(3)[0], 7u);
+    EXPECT_TRUE(csr.neighbors(9).empty());
+}
+
+TEST(JsonReport, SerializesAllValueKinds)
+{
+    JsonReport r;
+    r.set("name", std::string("two-level"))
+        .set("gteps", 1.25)
+        .set("cycles", std::uint64_t{12345})
+        .set("discarded", false);
+    EXPECT_EQ(r.str(), "{\"name\":\"two-level\",\"gteps\":1.25,"
+                       "\"cycles\":12345,\"discarded\":false}");
+}
+
+TEST(JsonReport, EscapesStrings)
+{
+    JsonReport r;
+    r.set("msg", std::string("a\"b\\c\nd"));
+    EXPECT_EQ(r.str(), "{\"msg\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonReport, NonFiniteNumbersBecomeNull)
+{
+    JsonReport r;
+    r.set("bad", std::numeric_limits<double>::infinity());
+    EXPECT_EQ(r.str(), "{\"bad\":null}");
+}
+
+} // namespace
+} // namespace gmoms

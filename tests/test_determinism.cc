@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Determinism guarantees: identical configuration and graph must yield
+ * bit-identical results AND identical cycle counts across runs — the
+ * property that makes bench numbers reproducible and regressions
+ * detectable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/accel/accelerator.hh"
+#include "src/baseline/scratchpad_accel.hh"
+#include "src/graph/datasets.hh"
+#include "src/graph/generator.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+RunResult
+runOnce(const CooGraph& g, Algorithm algo)
+{
+    AlgoSpec spec = algo == Algorithm::PageRank
+                        ? AlgoSpec::pageRank(g, 3)
+                        : AlgoSpec::scc(g.numNodes(), 4);
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.num_channels = 2;
+    cfg.moms = MomsConfig::twoLevel(4);
+    PartitionedGraph pg(g, 256, 512);
+    Accelerator accel(cfg, pg, spec);
+    return accel.run();
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalCyclesAndValues)
+{
+    CooGraph g = rmat(11, 15000, RmatParams{}, 77);
+    RunResult a = runOnce(g, Algorithm::Scc);
+    RunResult b = runOnce(g, Algorithm::Scc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.edges_processed, b.edges_processed);
+    EXPECT_EQ(a.dram_bytes_read, b.dram_bytes_read);
+    EXPECT_EQ(a.raw_values, b.raw_values);
+}
+
+TEST(Determinism, PageRankBitsAreStableAcrossRuns)
+{
+    // Even floating-point results are bit-identical run-to-run because
+    // the simulation schedule is deterministic.
+    CooGraph g = uniformRandom(1000, 8000, 5);
+    RunResult a = runOnce(g, Algorithm::PageRank);
+    RunResult b = runOnce(g, Algorithm::PageRank);
+    EXPECT_EQ(a.raw_values, b.raw_values);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Determinism, DatasetStandInsAreStable)
+{
+    CooGraph a = buildDataset(datasetByTag("WT"), 1);
+    CooGraph b = buildDataset(datasetByTag("WT"), 1);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (EdgeId i = 0; i < a.numEdges(); i += 997) {
+        EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+        EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+    }
+}
+
+TEST(Determinism, ScratchpadModelIsPure)
+{
+    CooGraph g = uniformRandom(4096, 20000, 9);
+    PartitionedGraph pg(g, 512, 1024);
+    ScratchpadConfig cfg;
+    auto a = runScratchpad(pg, cfg, 2, false);
+    auto b = runScratchpad(pg, cfg, 2, false);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+}
+
+} // namespace
+} // namespace gmoms

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DRAM model calibration tests against the paper's measured numbers:
+ * ~16 GB/s per channel on long bursts, ~8 GB/s on single 64 B reads
+ * (Section V-A, the AWS shell behaviour). At the modelled 250 MHz
+ * accelerator clock those are 64 and 32 bytes per cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_system.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/rng.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+/** Stream @p count transactions of @p bytes and return bytes/cycle. */
+double
+streamBandwidth(std::uint32_t bytes, int count, bool random_addresses)
+{
+    Engine eng;
+    DramConfig cfg;
+    MemorySystem mem(eng, cfg, 1, 1);
+    mem.store().resize(1 << 24);
+    MemPort port = mem.port(0);
+    Rng rng(9);
+    int sent = 0, recvd = 0;
+    Addr next = 0;
+    const Cycle start = eng.now();
+    eng.runUntil(
+        [&] {
+            while (sent < count) {
+                Addr a;
+                if (random_addresses) {
+                    a = rng.below((1 << 24) / bytes) *
+                        static_cast<Addr>(bytes);
+                    a = alignDown(a, bytes);
+                    // keep within one interleave unit
+                    if (a % kInterleaveBytes + bytes > kInterleaveBytes)
+                        a = alignDown(a, kInterleaveBytes);
+                } else {
+                    a = next;
+                    next += bytes;
+                }
+                if (!port.send(MemReq{a, bytes, 0, false}))
+                    break;
+                ++sent;
+            }
+            while (port.receive())
+                ++recvd;
+            return recvd == count;
+        },
+        10'000'000);
+    return static_cast<double>(bytes) * count /
+           static_cast<double>(eng.now() - start);
+}
+
+TEST(DramCalibration, SequentialBurstsReachNearPeak)
+{
+    // 2 KiB bursts: >= 90% of the 64 B/cycle pin bandwidth.
+    const double bw = streamBandwidth(2048, 300, false);
+    EXPECT_GT(bw, 0.90 * 64);
+    EXPECT_LE(bw, 64.01);
+}
+
+TEST(DramCalibration, RandomSingleReadsLandNearHalfPeak)
+{
+    // Random 64 B reads: the paper measured ~8 GB/s of 16 GB/s
+    // (50%); with fully random rows our model gives ~33% (every
+    // access row-misses, which the shell measurement partially
+    // amortized). Accept 28-66% of peak.
+    const double bw = streamBandwidth(64, 4000, true);
+    EXPECT_GT(bw, 18.0);
+    EXPECT_LT(bw, 42.0);
+}
+
+TEST(DramCalibration, SequentialSinglesBeatRandomSingles)
+{
+    // Row-buffer locality: sequential 64 B reads hit open rows.
+    const double seq = streamBandwidth(64, 4000, false);
+    const double rnd = streamBandwidth(64, 4000, true);
+    EXPECT_GT(seq, rnd);
+}
+
+TEST(DramCalibration, LoadedLatencyIncludesQueueing)
+{
+    // Under backlog, the observed request latency must exceed the
+    // unloaded latency — the queueing that feeds the MOMS merge window.
+    Engine eng;
+    DramConfig cfg;
+    MemorySystem mem(eng, cfg, 1, 1);
+    mem.store().resize(1 << 22);
+    MemPort port = mem.port(0);
+
+    // Fill the port queue, then time the LAST request end-to-end.
+    int sent = 0;
+    Rng rng(3);
+    while (port.send(MemReq{rng.below(1 << 15) * 64, 64,
+                            static_cast<std::uint64_t>(sent), false}))
+        ++sent;
+    const Cycle issue = eng.now();
+    int recvd = 0;
+    Cycle last_done = 0;
+    eng.runUntil(
+        [&] {
+            while (auto r = port.receive()) {
+                ++recvd;
+                last_done = eng.now();
+            }
+            return recvd == sent;
+        },
+        100'000);
+    EXPECT_EQ(recvd, sent);
+    EXPECT_GT(last_done - issue,
+              static_cast<Cycle>(2 * cfg.load_latency_cycles))
+        << "queueing delay absent";
+}
+
+} // namespace
+} // namespace gmoms

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for COO graphs, generators, partitioning and reordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/coo.hh"
+#include "src/sim/log.hh"
+#include "src/graph/datasets.hh"
+#include "src/graph/generator.hh"
+#include "src/graph/graph_stats.hh"
+#include "src/graph/partition.hh"
+#include "src/graph/reorder.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+TEST(CooGraph, DegreesAndReverseEdges)
+{
+    CooGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(3, 0);
+    auto out = g.outDegrees();
+    auto in = g.inDegrees();
+    EXPECT_EQ(out[0], 2u);
+    EXPECT_EQ(out[3], 1u);
+    EXPECT_EQ(in[0], 1u);
+    EXPECT_EQ(in[1], 1u);
+    CooGraph u = g.withReverseEdges();
+    EXPECT_EQ(u.numEdges(), 6u);
+    EXPECT_EQ(u.outDegrees()[1], 1u);
+}
+
+TEST(CooGraph, RelabelPreservesStructure)
+{
+    CooGraph g(3);
+    g.addEdge(0, 1, 7);
+    g.addEdge(1, 2, 9);
+    std::vector<NodeId> perm = {2, 0, 1};
+    CooGraph r = g.relabeled(perm);
+    EXPECT_EQ(r.edges()[0].src, 2u);
+    EXPECT_EQ(r.edges()[0].dst, 0u);
+    EXPECT_EQ(r.edges()[0].weight, 7u);
+    EXPECT_EQ(r.edges()[1].src, 0u);
+    EXPECT_EQ(r.edges()[1].dst, 1u);
+}
+
+TEST(Generator, RmatHasRequestedSizeAndSkew)
+{
+    CooGraph g = rmat(14, 100000, RmatParams{}, 42);
+    EXPECT_EQ(g.numNodes(), 1u << 14);
+    EXPECT_EQ(g.numEdges(), 100000u);
+    GraphStats s = computeGraphStats(g);
+    // RMAT is skewed: top 1% of nodes should own far more than 1% of
+    // edges (uniform graphs give ~0.01-0.03 here).
+    EXPECT_GT(s.top1pct_edge_share, 0.10);
+}
+
+TEST(Generator, RmatIsDeterministic)
+{
+    CooGraph a = rmat(10, 5000, RmatParams{}, 7);
+    CooGraph b = rmat(10, 5000, RmatParams{}, 7);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (EdgeId i = 0; i < a.numEdges(); ++i) {
+        EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+        EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+    }
+}
+
+TEST(Generator, PowerLawLocalityKnobWorks)
+{
+    CooGraph local = powerLaw(20000, 100000, 0.7, 0.9, 512, 3);
+    CooGraph scattered = powerLaw(20000, 100000, 0.7, 0.0, 512, 3);
+    GraphStats sl = computeGraphStats(local);
+    GraphStats ss = computeGraphStats(scattered);
+    EXPECT_GT(sl.local_edge_fraction, ss.local_edge_fraction + 0.2);
+}
+
+TEST(Generator, GridHasExpectedEdges)
+{
+    CooGraph g = grid2d(3, 4);
+    EXPECT_EQ(g.numNodes(), 12u);
+    // 2*(rows*(cols-1) + cols*(rows-1)) directed edges.
+    EXPECT_EQ(g.numEdges(), 2u * (3 * 3 + 4 * 2));
+}
+
+TEST(Generator, WeightsInRange)
+{
+    CooGraph g = uniformRandom(100, 1000, 5);
+    addRandomWeights(g, 9);
+    EXPECT_TRUE(g.weighted());
+    for (const Edge& e : g.edges())
+        EXPECT_LT(e.weight, 256u);
+}
+
+TEST(Generator, RandomPermutationIsPermutation)
+{
+    auto p = randomPermutation(1000, 11);
+    EXPECT_TRUE(isPermutation(p));
+}
+
+TEST(Partition, EveryEdgeLandsInItsShard)
+{
+    CooGraph g = uniformRandom(1000, 20000, 17);
+    PartitionedGraph pg(g, 128, 256);
+    EXPECT_EQ(pg.qd(), 8u);
+    EXPECT_EQ(pg.qs(), 4u);
+    EXPECT_EQ(pg.numEdges(), g.numEdges());
+    EdgeId total = 0;
+    for (std::uint32_t d = 0; d < pg.qd(); ++d) {
+        for (std::uint32_t s = 0; s < pg.qs(); ++s) {
+            for (const Edge& e : pg.shardEdges(s, d)) {
+                EXPECT_EQ(pg.srcIntervalOf(e.src), s);
+                EXPECT_EQ(pg.dstIntervalOf(e.dst), d);
+            }
+            total += pg.shardSize(s, d);
+        }
+    }
+    EXPECT_EQ(total, g.numEdges());
+}
+
+TEST(Partition, PreservesIntraShardEdgeOrder)
+{
+    CooGraph g(64);
+    // Three edges in the same shard; order must be preserved.
+    g.addEdge(1, 2, 100);
+    g.addEdge(5, 9, 200);
+    g.addEdge(3, 7, 300);
+    PartitionedGraph pg(g, 32, 32);
+    auto shard = pg.shardEdges(0, 0);
+    ASSERT_EQ(shard.size(), 3u);
+    EXPECT_EQ(shard[0].weight, 100u);
+    EXPECT_EQ(shard[1].weight, 200u);
+    EXPECT_EQ(shard[2].weight, 300u);
+}
+
+TEST(Partition, LastIntervalMayBeShort)
+{
+    CooGraph g(100);
+    g.addEdge(99, 99);
+    PartitionedGraph pg(g, 64, 64);
+    EXPECT_EQ(pg.qd(), 2u);
+    EXPECT_EQ(pg.dstIntervalNodes(0), 64u);
+    EXPECT_EQ(pg.dstIntervalNodes(1), 36u);
+    EXPECT_EQ(pg.shardSize(1, 1), 1u);
+}
+
+TEST(Partition, RejectsOversizedIntervals)
+{
+    CooGraph g(10);
+    g.addEdge(0, 1);
+    EXPECT_THROW(PartitionedGraph(g, 1 << 16, 256), FatalError);
+    EXPECT_THROW(PartitionedGraph(g, 256, 1 << 17), FatalError);
+}
+
+TEST(Partition, JobSizesSumToEdgeCount)
+{
+    CooGraph g = rmat(12, 30000, RmatParams{}, 23);
+    PartitionedGraph pg(g, 512, 1024);
+    auto sizes = pg.jobSizes();
+    EdgeId total = 0;
+    for (EdgeId s : sizes)
+        total += s;
+    EXPECT_EQ(total, g.numEdges());
+}
+
+TEST(Reorder, HashNodeIntervalsBalancesInEdges)
+{
+    // A clustered graph: all edges target the first interval.
+    CooGraph g(1024);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        g.addEdge(static_cast<NodeId>(rng.below(1024)),
+                  static_cast<NodeId>(rng.below(128)));
+    const std::uint32_t nd = 128;
+    auto perm = hashNodeIntervals(g.numNodes(), nd);
+    EXPECT_TRUE(isPermutation(perm));
+    CooGraph r = g.relabeled(perm);
+    PartitionedGraph pg(r, nd, 256);
+    auto sizes = pg.jobSizes();
+    // After hashing, no interval should hold more than ~3x the mean.
+    const double mean =
+        static_cast<double>(g.numEdges()) / sizes.size();
+    for (EdgeId s : sizes)
+        EXPECT_LT(static_cast<double>(s), 3.0 * mean);
+}
+
+TEST(Reorder, HashCacheLinesKeepsLinesIntact)
+{
+    const NodeId n = 4096;
+    const std::uint32_t nd = 256;
+    auto perm = hashCacheLines(n, nd);
+    EXPECT_TRUE(isPermutation(perm));
+    // Nodes sharing an old 16-node line must share a new line.
+    for (NodeId i = 0; i < n; i += 16) {
+        const NodeId new_line = perm[i] / 16;
+        for (NodeId j = i; j < i + 16; ++j) {
+            EXPECT_EQ(perm[j] / 16, new_line);
+            EXPECT_EQ(perm[j] % 16, j % 16);  // intra-line order kept
+        }
+    }
+}
+
+TEST(Reorder, HashCacheLinesBalancesIntervals)
+{
+    CooGraph g(4096);
+    Rng rng(4);
+    for (int i = 0; i < 20000; ++i)
+        g.addEdge(static_cast<NodeId>(rng.below(4096)),
+                  static_cast<NodeId>(rng.below(256)));
+    const std::uint32_t nd = 256;
+    CooGraph r = g.relabeled(hashCacheLines(g.numNodes(), nd));
+    PartitionedGraph pg(r, nd, 512);
+    auto sizes = pg.jobSizes();
+    const double mean =
+        static_cast<double>(g.numEdges()) / sizes.size();
+    for (EdgeId s : sizes)
+        EXPECT_LT(static_cast<double>(s), 3.0 * mean);
+}
+
+TEST(Reorder, DbgGroupsHighDegreeFirst)
+{
+    // Node 9 has huge out-degree; after DBG it must get a low label.
+    CooGraph g(100);
+    for (int i = 0; i < 64; ++i)
+        g.addEdge(9, static_cast<NodeId>(i % 100));
+    g.addEdge(0, 1);
+    g.addEdge(5, 2);
+    auto perm = dbgReorder(g);
+    EXPECT_TRUE(isPermutation(perm));
+    EXPECT_LT(perm[9], 3u);
+    // Zero-degree nodes keep relative order in the last group.
+    EXPECT_LT(perm[1], perm[2]);
+}
+
+TEST(Reorder, ComposeAppliesInOrder)
+{
+    std::vector<NodeId> a = {1, 2, 0};
+    std::vector<NodeId> b = {2, 0, 1};
+    auto c = composePermutations(a, b);
+    // node 0 -> a: 1 -> b: 0
+    EXPECT_EQ(c[0], 0u);
+    EXPECT_EQ(c[1], 1u);
+    EXPECT_EQ(c[2], 2u);
+}
+
+TEST(Reorder, ApplyPreprocessingVariants)
+{
+    CooGraph g = rmat(10, 4000, RmatParams{}, 5);
+    for (Preprocessing p : {Preprocessing::None, Preprocessing::Hash,
+                            Preprocessing::Dbg, Preprocessing::DbgHash}) {
+        CooGraph r = applyPreprocessing(g, p, 128);
+        EXPECT_EQ(r.numNodes(), g.numNodes());
+        EXPECT_EQ(r.numEdges(), g.numEdges());
+    }
+}
+
+TEST(Datasets, RegistryMatchesTable2)
+{
+    const auto& profiles = table2Profiles();
+    ASSERT_EQ(profiles.size(), 12u);
+    EXPECT_EQ(profiles[0].tag, "WT");
+    EXPECT_EQ(profiles[0].paper_nodes, 2'390'000u);
+    EXPECT_EQ(profiles[11].tag, "26");
+    EXPECT_EQ(datasetByTag("UK").paper_edges, 936'000'000u);
+    EXPECT_THROW(datasetByTag("XX"), FatalError);
+}
+
+TEST(Datasets, StandInsHaveScaledSizes)
+{
+    const DatasetProfile& wt = datasetByTag("WT");
+    CooGraph g = buildDataset(wt, 1);
+    EXPECT_EQ(g.numNodes(), wt.nodes());
+    EXPECT_EQ(g.numEdges(), wt.edges());
+    // Edge targets must be in range.
+    for (const Edge& e : g.edges()) {
+        EXPECT_LT(e.src, g.numNodes());
+        EXPECT_LT(e.dst, g.numNodes());
+    }
+}
+
+TEST(Datasets, WebKeepsLocalitySocialDoesNot)
+{
+    GraphStats web = computeGraphStats(buildDataset(datasetByTag("DB")));
+    GraphStats soc = computeGraphStats(buildDataset(datasetByTag("MP")));
+    EXPECT_GT(web.local_edge_fraction, soc.local_edge_fraction);
+}
+
+TEST(Datasets, AllProfilesBuildWithinBudget)
+{
+    for (const DatasetProfile& p : table2Profiles()) {
+        EXPECT_LE(p.edges(), DatasetProfile::kEdgeCap) << p.tag;
+        EXPECT_GE(p.edges(), 15'000u) << p.tag;
+        EXPECT_LE(p.nodes(), 500'000u) << p.tag;
+        // Uniform node scaling: N ratios to cache capacity match the
+        // paper (DESIGN.md section 5).
+        EXPECT_EQ(p.scale_divisor, 256u) << p.tag;
+        EXPECT_EQ(p.nodes(), p.paper_nodes / 256) << p.tag;
+    }
+}
+
+} // namespace
+} // namespace gmoms

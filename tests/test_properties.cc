@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Property-based and stress tests: correctness must survive any
+ * combination of partition geometry, topology, structure sizes (down
+ * to pathological minima) and random seeds. These are the
+ * failure-injection tests: tiny queues, tiny MSHR files and tiny
+ * subentry pools force every stall path to fire while results must
+ * remain exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/accel/accelerator.hh"
+#include "src/algo/golden.hh"
+#include "src/algo/reference.hh"
+#include "src/graph/generator.hh"
+#include "src/graph/reorder.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Reference executor: geometry invariance.
+// ---------------------------------------------------------------------
+
+struct Geometry
+{
+    std::uint32_t nd, ns;
+};
+
+class GeometryInvariance : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(GeometryInvariance, SccFixpointIndependentOfPartitioning)
+{
+    CooGraph g = rmat(10, 5000, RmatParams{}, 99);
+    AlgoSpec spec = AlgoSpec::scc(g.numNodes());
+    PartitionedGraph pg(g, GetParam().nd, GetParam().ns);
+    ReferenceResult res = runReference(pg, spec);
+    std::vector<std::uint32_t> golden = goldenMinLabel(g);
+    EXPECT_EQ(res.raw_values, golden);
+}
+
+TEST_P(GeometryInvariance, PageRankIndependentOfPartitioning)
+{
+    CooGraph g = uniformRandom(700, 4000, 41);
+    AlgoSpec spec = AlgoSpec::pageRank(g, 6);
+    PartitionedGraph pg(g, GetParam().nd, GetParam().ns);
+    ReferenceResult res = runReference(pg, spec);
+    std::vector<double> golden = goldenPageRank(g, 6);
+    for (NodeId i = 0; i < g.numNodes(); ++i)
+        EXPECT_NEAR(res.value(spec, i), golden[i],
+                    1e-4 * golden[i] + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryInvariance,
+    ::testing::Values(Geometry{64, 64}, Geometry{64, 128},
+                      Geometry{128, 512}, Geometry{1024, 2048},
+                      Geometry{100, 300}, Geometry{32768, 65536}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+        return "nd" + std::to_string(info.param.nd) + "_ns" +
+               std::to_string(info.param.ns);
+    });
+
+// ---------------------------------------------------------------------
+// Relabeling invariance: a permutation must permute results.
+// ---------------------------------------------------------------------
+
+TEST(Properties, SsspInvariantUnderRelabeling)
+{
+    CooGraph g = uniformRandom(400, 4000, 7);
+    addRandomWeights(g, 9);
+    auto perm = randomPermutation(g.numNodes(), 21);
+    CooGraph r = g.relabeled(perm);
+
+    auto dist_g = goldenSssp(g, 5);
+    auto dist_r = goldenSssp(r, perm[5]);
+    for (NodeId i = 0; i < g.numNodes(); ++i)
+        EXPECT_EQ(dist_g[i], dist_r[perm[i]]);
+
+    // And the reference executor agrees on the relabeled graph.
+    PartitionedGraph pg(r, 64, 128);
+    AlgoSpec spec = AlgoSpec::sssp(perm[5]);
+    ReferenceResult res = runReference(pg, spec);
+    EXPECT_EQ(res.raw_values, dist_r);
+}
+
+TEST(Properties, PageRankMassConservedUnderPreprocessing)
+{
+    CooGraph g = uniformRandom(600, 6000, 13);
+    auto od = g.outDegrees();
+    for (NodeId i = 0; i < g.numNodes(); ++i)
+        if (od[i] == 0)
+            g.addEdge(i, (i + 7) % g.numNodes());
+    for (Preprocessing p : {Preprocessing::None, Preprocessing::Hash,
+                            Preprocessing::Dbg,
+                            Preprocessing::DbgHash}) {
+        CooGraph r = applyPreprocessing(g, p, 128);
+        AlgoSpec spec = AlgoSpec::pageRank(r, 8);
+        PartitionedGraph pg(r, 128, 256);
+        ReferenceResult res = runReference(pg, spec);
+        double sum = 0;
+        for (NodeId i = 0; i < r.numNodes(); ++i)
+            sum += res.value(spec, i);
+        EXPECT_NEAR(sum, 1.0, 0.01) << preprocessingName(p);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure injection: pathologically small structures.
+// ---------------------------------------------------------------------
+
+struct TinyConfig
+{
+    const char* name;
+    std::uint32_t mshrs;
+    std::uint32_t subentries;
+    std::uint32_t queue_depth;
+    std::uint32_t max_threads;
+};
+
+class TinyStructures : public ::testing::TestWithParam<TinyConfig>
+{
+};
+
+TEST_P(TinyStructures, AcceleratorStaysCorrectUnderExtremePressure)
+{
+    const TinyConfig& tc = GetParam();
+    CooGraph g = rmat(9, 4000, RmatParams{}, 31);
+    AlgoSpec spec = AlgoSpec::scc(g.numNodes());
+
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.num_channels = 2;
+    cfg.moms = MomsConfig::twoLevel(2);
+    for (MomsBankConfig* b :
+         {&cfg.moms.shared_bank, &cfg.moms.private_bank}) {
+        b->num_mshrs = tc.mshrs;
+        b->mshr_tables = 2;
+        b->num_subentries = tc.subentries;
+        b->req_queue_depth = tc.queue_depth;
+        b->resp_queue_depth = tc.queue_depth;
+        b->cache_bytes = 0;
+    }
+    cfg.max_threads = tc.max_threads;
+    cfg.max_edge_bursts = 1;
+
+    PartitionedGraph pg(g, 128, 256);
+    Accelerator accel(cfg, pg, spec);
+    RunResult res = accel.run();
+    EXPECT_EQ(res.raw_values, goldenMinLabel(g)) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pressure, TinyStructures,
+    ::testing::Values(
+        TinyConfig{"tiny_mshr", 4, 64, 4, 64},
+        TinyConfig{"tiny_subentries", 64, 8, 4, 64},
+        TinyConfig{"tiny_queues", 64, 64, 1, 64},
+        TinyConfig{"single_thread_slots", 64, 64, 4, 2},
+        TinyConfig{"everything_tiny", 4, 8, 1, 2}),
+    [](const ::testing::TestParamInfo<TinyConfig>& info) {
+        return info.param.name;
+    });
+
+// ---------------------------------------------------------------------
+// Seed sweeps: many random graphs through the full timed system.
+// ---------------------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, TimedSsspMatchesGolden)
+{
+    CooGraph g = uniformRandom(600, 5000, GetParam());
+    addRandomWeights(g, GetParam() ^ 0x5555);
+    AlgoSpec spec = AlgoSpec::sssp(static_cast<NodeId>(GetParam() % 600));
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.num_channels = 2;
+    cfg.moms = MomsConfig::twoLevel(4);
+    PartitionedGraph pg(g, 128, 256);
+    Accelerator accel(cfg, pg, spec);
+    RunResult res = accel.run();
+    EXPECT_EQ(res.raw_values,
+              goldenSssp(g, static_cast<NodeId>(GetParam() % 600)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------
+// Degenerate graphs.
+// ---------------------------------------------------------------------
+
+TEST(Properties, EmptyEdgeSetConvergesImmediately)
+{
+    CooGraph g(100);  // no edges at all
+    AlgoSpec spec = AlgoSpec::scc(g.numNodes());
+    PartitionedGraph pg(g, 64, 128);
+    AccelConfig cfg;
+    cfg.num_pes = 2;
+    cfg.num_channels = 1;
+    cfg.moms = MomsConfig::twoLevel(1);
+    Accelerator accel(cfg, pg, spec);
+    RunResult res = accel.run();
+    EXPECT_EQ(res.iterations, 1u);
+    for (NodeId i = 0; i < 100; ++i)
+        EXPECT_EQ(res.raw_values[i], i);
+}
+
+TEST(Properties, SelfLoopsAndDuplicateEdgesAreHarmless)
+{
+    CooGraph g(50);
+    for (NodeId i = 0; i < 50; ++i) {
+        g.addEdge(i, i);          // self loop
+        g.addEdge(i, (i + 1) % 50);
+        g.addEdge(i, (i + 1) % 50);  // duplicate
+    }
+    AlgoSpec spec = AlgoSpec::scc(g.numNodes());
+    PartitionedGraph pg(g, 32, 64);
+    ReferenceResult res = runReference(pg, spec);
+    for (NodeId i = 0; i < 50; ++i)
+        EXPECT_EQ(res.raw_values[i], 0u);  // ring collapses to 0
+}
+
+TEST(Properties, SingleNodeGraph)
+{
+    CooGraph g(1);
+    g.addEdge(0, 0);
+    AlgoSpec spec = AlgoSpec::pageRank(g, 3);
+    PartitionedGraph pg(g, 16, 32);
+    ReferenceResult res = runReference(pg, spec);
+    EXPECT_NEAR(res.value(spec, 0), 1.0, 1e-5);
+}
+
+} // namespace
+} // namespace gmoms

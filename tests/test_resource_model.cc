@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the FPGA resource and frequency models (Fig. 17 and the
+ * frequency behaviour discussed with Figs. 11/14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/accel/resource_model.hh"
+#include "src/graph/generator.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+AccelConfig
+config(std::uint32_t pes, std::uint32_t channels, MomsConfig moms)
+{
+    AccelConfig cfg;
+    cfg.num_pes = pes;
+    cfg.num_channels = channels;
+    cfg.moms = std::move(moms);
+    return cfg;
+}
+
+AlgoSpec
+spec(const char* name)
+{
+    CooGraph g = chain(100);
+    if (std::string(name) == "PageRank")
+        return AlgoSpec::pageRank(g, 10);
+    if (std::string(name) == "SSSP")
+        return AlgoSpec::sssp(0);
+    return AlgoSpec::scc(g.numNodes());
+}
+
+TEST(ResourceModel, StandardDesignsLandInPaperBand)
+{
+    // The paper's shipped designs run between 196 and 227 MHz.
+    for (const char* algo : {"PageRank", "SCC", "SSSP"}) {
+        for (auto moms : {MomsConfig::twoLevel(16),
+                          MomsConfig::shared(16),
+                          MomsConfig::twoLevel(8)}) {
+            const double f =
+                modelFrequencyMhz(config(16, 4, moms), spec(algo));
+            EXPECT_GE(f, kMinFrequencyMhz) << algo;
+            EXPECT_LE(f, 250.0) << algo;
+        }
+    }
+}
+
+TEST(ResourceModel, MorePesLowerFrequency)
+{
+    const double f16 =
+        modelFrequencyMhz(config(16, 4, MomsConfig::twoLevel(16)),
+                          spec("SCC"));
+    const double f24 =
+        modelFrequencyMhz(config(24, 4, MomsConfig::twoLevel(16)),
+                          spec("SCC"));
+    EXPECT_GT(f16, f24);
+}
+
+TEST(ResourceModel, MoreChannelsLowerFrequency)
+{
+    // Fig. 14: 4-channel systems run slower than 2-channel ones due to
+    // additional SLR crossings.
+    const double f2 =
+        modelFrequencyMhz(config(16, 2, MomsConfig::twoLevel(16)),
+                          spec("PageRank"));
+    const double f4 =
+        modelFrequencyMhz(config(16, 4, MomsConfig::twoLevel(16)),
+                          spec("PageRank"));
+    EXPECT_GT(f2, f4);
+}
+
+TEST(ResourceModel, FloatingPointPageRankSlightlySlower)
+{
+    const AccelConfig cfg = config(16, 4, MomsConfig::twoLevel(16));
+    EXPECT_LT(modelFrequencyMhz(cfg, spec("PageRank")),
+              modelFrequencyMhz(cfg, spec("SCC")));
+}
+
+TEST(ResourceModel, LutsDominatedByInterconnectAndDspLow)
+{
+    // Fig. 17: LUTs mostly in the interconnect, DSPs underutilized.
+    const ResourceBreakdown r = estimateResources(
+        config(16, 4, MomsConfig::twoLevel(16)), spec("PageRank"));
+    EXPECT_GT(r.interconnect.luts, r.pes.luts);
+    EXPECT_GT(r.interconnect.luts, r.moms.luts);
+    EXPECT_LT(r.dsp_util, 0.10);
+    EXPECT_GT(r.lut_util, 0.30);
+    EXPECT_LT(r.lut_util, 1.00);
+}
+
+TEST(ResourceModel, MemoriesLiveInPesAndMoms)
+{
+    const ResourceBreakdown r = estimateResources(
+        config(16, 4, MomsConfig::twoLevel(16)), spec("SCC"));
+    EXPECT_GT(r.pes.uram + r.moms.uram, r.interconnect.uram);
+    EXPECT_GT(r.moms.bram36, 0);
+}
+
+TEST(ResourceModel, WeightedAlgorithmsNeedStateMemory)
+{
+    const AccelConfig cfg = config(16, 4, MomsConfig::twoLevel(16));
+    const ResourceBreakdown sssp = estimateResources(cfg, spec("SSSP"));
+    const ResourceBreakdown scc = estimateResources(cfg, spec("SCC"));
+    EXPECT_GT(sssp.pes.bram36, scc.pes.bram36);
+}
+
+TEST(ResourceModel, TraditionalBanksCheaperInLogicRicherInNothing)
+{
+    const ResourceBreakdown moms = estimateResources(
+        config(16, 4, MomsConfig::twoLevel(16)), spec("SCC"));
+    const ResourceBreakdown trad = estimateResources(
+        config(16, 4, MomsConfig::traditionalTwoLevel(16)),
+        spec("SCC"));
+    EXPECT_LT(trad.moms.luts, moms.moms.luts);
+    EXPECT_LT(trad.moms.bram36, moms.moms.bram36);
+}
+
+TEST(ResourceModel, CachelessMomsSavesMemoryBits)
+{
+    // Fig. 15: the cache-less MOMS uses ~25% fewer memory bits.
+    const AccelConfig full = config(20, 4, MomsConfig::twoLevel(8, 1024));
+    AccelConfig bare = full;
+    bare.moms = bare.moms.withoutCacheArrays();
+    const ResourceBreakdown rf =
+        estimateResources(full, spec("SCC"));
+    const ResourceBreakdown rb =
+        estimateResources(bare, spec("SCC"));
+    EXPECT_LT(rb.moms.uram, rf.moms.uram);
+}
+
+} // namespace
+} // namespace gmoms

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the high-level GraphSession driver API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/accel/session.hh"
+#include "src/algo/golden.hh"
+#include "src/graph/generator.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+AccelConfig
+smallConfig()
+{
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.num_channels = 2;
+    cfg.moms = MomsConfig::twoLevel(4);
+    return cfg;
+}
+
+TEST(Session, IdMappingIsABijection)
+{
+    CooGraph g = rmat(10, 4000, RmatParams{}, 3);
+    GraphSession session(g, smallConfig());
+    for (NodeId n = 0; n < g.numNodes(); n += 37)
+        EXPECT_EQ(session.originalId(session.internalId(n)), n);
+    EXPECT_THROW(session.internalId(g.numNodes()), FatalError);
+}
+
+TEST(Session, SccValuesTranslateBackToOriginalLabels)
+{
+    CooGraph g = rmat(10, 6000, RmatParams{}, 7);
+    GraphSession session(g, smallConfig());
+    SessionResult res = session.scc();
+    // Golden on the ORIGINAL graph; session values are in internal
+    // label space: translate both ways and compare component
+    // structure (same-partition relation).
+    auto golden = goldenMinLabel(g);
+    for (NodeId a = 0; a < g.numNodes(); a += 101) {
+        for (NodeId b = a + 1; b < g.numNodes(); b += 419) {
+            const bool same_golden = golden[a] == golden[b];
+            const bool same_session =
+                res.values[session.internalId(a)] ==
+                res.values[session.internalId(b)];
+            EXPECT_EQ(same_golden, same_session)
+                << "nodes " << a << "," << b;
+        }
+    }
+}
+
+TEST(Session, BfsDepthsMatchGoldenThroughTheMapping)
+{
+    CooGraph g = rmat(9, 3000, RmatParams{}, 11);
+    GraphSession session(g, smallConfig());
+    const NodeId source = 5;
+    SessionResult res = session.bfs(source);
+    auto golden = goldenBfs(g, source);
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        EXPECT_EQ(res.values[session.internalId(n)],
+                  static_cast<double>(golden[n]))
+            << "node " << n;
+}
+
+TEST(Session, PageRankScoresSumToOne)
+{
+    CooGraph g = uniformRandom(800, 8000, 13);
+    auto od = g.outDegrees();
+    for (NodeId i = 0; i < g.numNodes(); ++i)
+        if (od[i] == 0)
+            g.addEdge(i, (i + 1) % g.numNodes());
+    GraphSession session(g, smallConfig());
+    SessionResult res = session.pageRank(8);
+    double sum = 0;
+    for (double v : res.values)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 0.01);
+    EXPECT_GT(res.gteps, 0.0);
+    EXPECT_GT(res.fmax_mhz, 150.0);
+    EXPECT_GT(res.power_watts, 5.0);
+}
+
+TEST(Session, MultipleAlgorithmsReuseOnePreprocessing)
+{
+    CooGraph g = rmat(10, 5000, RmatParams{}, 17);
+    GraphSession session(g, smallConfig());
+    SessionResult a = session.scc();
+    SessionResult b = session.bfs(0);
+    SessionResult c = session.sssp(0);
+    EXPECT_EQ(a.values.size(), g.numNodes());
+    EXPECT_EQ(b.values.size(), g.numNodes());
+    EXPECT_EQ(c.values.size(), g.numNodes());
+    // SSSP distance of the source is zero, in internal space.
+    EXPECT_EQ(c.values[session.internalId(0)], 0.0);
+}
+
+TEST(Session, NonePreprocessingKeepsLabels)
+{
+    CooGraph g = uniformRandom(100, 500, 19);
+    GraphSession session(g, smallConfig(), Preprocessing::None);
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        EXPECT_EQ(session.internalId(n), n);
+}
+
+TEST(Session, RejectsEmptyGraph)
+{
+    EXPECT_THROW(GraphSession(CooGraph(0), smallConfig()), FatalError);
+}
+
+} // namespace
+} // namespace gmoms

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: engine, timed queues, RNG, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/timed_queue.hh"
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+class CounterComponent : public Component
+{
+  public:
+    CounterComponent() : Component("counter") {}
+    void tick() override { ++ticks; }
+    std::uint64_t ticks = 0;
+};
+
+TEST(Engine, TicksEveryComponentOncePerCycle)
+{
+    Engine eng;
+    CounterComponent a, b;
+    eng.add(&a);
+    eng.add(&b);
+    for (int i = 0; i < 10; ++i)
+        eng.tick();
+    EXPECT_EQ(eng.now(), 10u);
+    EXPECT_EQ(a.ticks, 10u);
+    EXPECT_EQ(b.ticks, 10u);
+}
+
+TEST(Engine, RunUntilStopsOnPredicate)
+{
+    Engine eng;
+    CounterComponent a;
+    eng.add(&a);
+    bool ok = eng.runUntil([&] { return a.ticks >= 5; }, 100);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(a.ticks, 5u);
+}
+
+TEST(Engine, RunUntilHonorsCycleLimit)
+{
+    Engine eng;
+    bool ok = eng.runUntil([] { return false; }, 42);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(eng.now(), 42u);
+}
+
+TEST(TimedQueue, TokenInvisibleBeforeLatencyElapses)
+{
+    Engine eng;
+    TimedQueue<int> q(eng, 4, 3);
+    ASSERT_TRUE(q.push(7));
+    EXPECT_FALSE(q.canPop());
+    eng.tick();
+    eng.tick();
+    EXPECT_FALSE(q.canPop());
+    eng.tick();
+    ASSERT_TRUE(q.canPop());
+    EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(TimedQueue, CapacityBackpressure)
+{
+    Engine eng;
+    TimedQueue<int> q(eng, 2, 1);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_FALSE(q.canPush());
+    EXPECT_FALSE(q.push(3));
+    eng.tick();
+    ASSERT_TRUE(q.canPop());
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_TRUE(q.push(3));
+}
+
+TEST(TimedQueue, PreservesFifoOrder)
+{
+    Engine eng;
+    TimedQueue<int> q(eng, 8, 2);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.push(i));
+    eng.tick();
+    eng.tick();
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.canPop());
+        EXPECT_EQ(q.pop(), i);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedQueue, InterleavedPushPopKeepsPerTokenLatency)
+{
+    Engine eng;
+    TimedQueue<Cycle> q(eng, 16, 4);
+    // Push one token per cycle stamped with its push cycle; verify each
+    // pops exactly 4 cycles later.
+    std::uint64_t popped = 0;
+    for (Cycle c = 0; c < 40; ++c) {
+        if (c < 20) {
+            ASSERT_TRUE(q.push(eng.now()));
+        }
+        if (q.canPop()) {
+            Cycle pushed = q.pop();
+            EXPECT_EQ(eng.now(), pushed + 4);
+            ++popped;
+        }
+        eng.tick();
+    }
+    EXPECT_EQ(popped, 20u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformCoversUnitInterval)
+{
+    Rng r(99);
+    double mn = 1.0, mx = 0.0, sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        mn = std::min(mn, u);
+        mx = std::max(mx, u);
+        sum += u;
+    }
+    EXPECT_GE(mn, 0.0);
+    EXPECT_LT(mx, 1.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(StatRegistry, RegistersAndReads)
+{
+    StatRegistry reg;
+    std::uint64_t c = 42;
+    double g = 2.5;
+    reg.addCounter("a.b.count", &c);
+    reg.addGauge("a.b.gauge", &g);
+    EXPECT_TRUE(reg.has("a.b.count"));
+    EXPECT_FALSE(reg.has("missing"));
+    EXPECT_DOUBLE_EQ(reg.value("a.b.count"), 42.0);
+    EXPECT_DOUBLE_EQ(reg.value("a.b.gauge"), 2.5);
+    c = 43;
+    EXPECT_DOUBLE_EQ(reg.value("a.b.count"), 43.0);
+}
+
+TEST(Types, AlignmentHelpers)
+{
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignUp(100, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+}
+
+} // namespace
+} // namespace gmoms
