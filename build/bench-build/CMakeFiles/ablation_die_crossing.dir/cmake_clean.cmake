@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_die_crossing"
+  "../bench/ablation_die_crossing.pdb"
+  "CMakeFiles/ablation_die_crossing.dir/ablation_die_crossing.cc.o"
+  "CMakeFiles/ablation_die_crossing.dir/ablation_die_crossing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_die_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

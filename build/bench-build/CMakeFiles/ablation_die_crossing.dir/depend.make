@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_die_crossing.
+# This may be replaced when dependencies are built.

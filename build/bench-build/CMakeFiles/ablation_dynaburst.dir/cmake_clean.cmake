@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dynaburst"
+  "../bench/ablation_dynaburst.pdb"
+  "CMakeFiles/ablation_dynaburst.dir/ablation_dynaburst.cc.o"
+  "CMakeFiles/ablation_dynaburst.dir/ablation_dynaburst.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynaburst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_moms_sizing"
+  "../bench/ablation_moms_sizing.pdb"
+  "CMakeFiles/ablation_moms_sizing.dir/ablation_moms_sizing.cc.o"
+  "CMakeFiles/ablation_moms_sizing.dir/ablation_moms_sizing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_moms_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_memory_systems"
+  "../bench/fig01_memory_systems.pdb"
+  "CMakeFiles/fig01_memory_systems.dir/fig01_memory_systems.cc.o"
+  "CMakeFiles/fig01_memory_systems.dir/fig01_memory_systems.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_memory_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_arch_exploration"
+  "../bench/fig11_arch_exploration.pdb"
+  "CMakeFiles/fig11_arch_exploration.dir/fig11_arch_exploration.cc.o"
+  "CMakeFiles/fig11_arch_exploration.dir/fig11_arch_exploration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_arch_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_hitrate"
+  "../bench/fig12_hitrate.pdb"
+  "CMakeFiles/fig12_hitrate.dir/fig12_hitrate.cc.o"
+  "CMakeFiles/fig12_hitrate.dir/fig12_hitrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_preprocessing"
+  "../bench/fig13_preprocessing.pdb"
+  "CMakeFiles/fig13_preprocessing.dir/fig13_preprocessing.cc.o"
+  "CMakeFiles/fig13_preprocessing.dir/fig13_preprocessing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

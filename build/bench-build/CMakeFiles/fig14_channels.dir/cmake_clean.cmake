@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_channels"
+  "../bench/fig14_channels.pdb"
+  "CMakeFiles/fig14_channels.dir/fig14_channels.cc.o"
+  "CMakeFiles/fig14_channels.dir/fig14_channels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_cache_impact"
+  "../bench/fig15_cache_impact.pdb"
+  "CMakeFiles/fig15_cache_impact.dir/fig15_cache_impact.cc.o"
+  "CMakeFiles/fig15_cache_impact.dir/fig15_cache_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cache_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_state_of_the_art"
+  "../bench/fig16_state_of_the_art.pdb"
+  "CMakeFiles/fig16_state_of_the_art.dir/fig16_state_of_the_art.cc.o"
+  "CMakeFiles/fig16_state_of_the_art.dir/fig16_state_of_the_art.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_state_of_the_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

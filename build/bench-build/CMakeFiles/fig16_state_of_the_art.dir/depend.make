@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_state_of_the_art.
+# This may be replaced when dependencies are built.

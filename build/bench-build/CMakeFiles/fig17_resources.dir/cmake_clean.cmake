@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_resources"
+  "../bench/fig17_resources.pdb"
+  "CMakeFiles/fig17_resources.dir/fig17_resources.cc.o"
+  "CMakeFiles/fig17_resources.dir/fig17_resources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_preprocessing"
+  "../bench/table3_preprocessing.pdb"
+  "CMakeFiles/table3_preprocessing.dir/table3_preprocessing.cc.o"
+  "CMakeFiles/table3_preprocessing.dir/table3_preprocessing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

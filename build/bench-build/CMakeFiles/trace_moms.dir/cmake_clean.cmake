@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/trace_moms"
+  "../bench/trace_moms.pdb"
+  "CMakeFiles/trace_moms.dir/trace_moms.cc.o"
+  "CMakeFiles/trace_moms.dir/trace_moms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_moms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

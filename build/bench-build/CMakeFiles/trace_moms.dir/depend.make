@@ -1,0 +1,2 @@
+# Empty dependencies file for trace_moms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_arch_explorer.dir/arch_explorer.cpp.o"
+  "CMakeFiles/example_arch_explorer.dir/arch_explorer.cpp.o.d"
+  "example_arch_explorer"
+  "example_arch_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_arch_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

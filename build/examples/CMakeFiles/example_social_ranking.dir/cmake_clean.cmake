@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_ranking.dir/social_ranking.cpp.o"
+  "CMakeFiles/example_social_ranking.dir/social_ranking.cpp.o.d"
+  "example_social_ranking"
+  "example_social_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

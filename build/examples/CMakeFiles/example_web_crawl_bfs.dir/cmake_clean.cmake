@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_crawl_bfs.dir/web_crawl_bfs.cpp.o"
+  "CMakeFiles/example_web_crawl_bfs.dir/web_crawl_bfs.cpp.o.d"
+  "example_web_crawl_bfs"
+  "example_web_crawl_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_crawl_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

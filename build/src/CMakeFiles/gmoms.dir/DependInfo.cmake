@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/CMakeFiles/gmoms.dir/accel/accelerator.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/accel/accelerator.cc.o.d"
+  "/root/repo/src/accel/pe.cc" "src/CMakeFiles/gmoms.dir/accel/pe.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/accel/pe.cc.o.d"
+  "/root/repo/src/accel/resource_model.cc" "src/CMakeFiles/gmoms.dir/accel/resource_model.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/accel/resource_model.cc.o.d"
+  "/root/repo/src/accel/scheduler.cc" "src/CMakeFiles/gmoms.dir/accel/scheduler.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/accel/scheduler.cc.o.d"
+  "/root/repo/src/accel/session.cc" "src/CMakeFiles/gmoms.dir/accel/session.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/accel/session.cc.o.d"
+  "/root/repo/src/algo/golden.cc" "src/CMakeFiles/gmoms.dir/algo/golden.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/algo/golden.cc.o.d"
+  "/root/repo/src/algo/reference.cc" "src/CMakeFiles/gmoms.dir/algo/reference.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/algo/reference.cc.o.d"
+  "/root/repo/src/algo/spec.cc" "src/CMakeFiles/gmoms.dir/algo/spec.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/algo/spec.cc.o.d"
+  "/root/repo/src/baseline/cpu_baseline.cc" "src/CMakeFiles/gmoms.dir/baseline/cpu_baseline.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/baseline/cpu_baseline.cc.o.d"
+  "/root/repo/src/baseline/fabgraph_model.cc" "src/CMakeFiles/gmoms.dir/baseline/fabgraph_model.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/baseline/fabgraph_model.cc.o.d"
+  "/root/repo/src/baseline/scratchpad_accel.cc" "src/CMakeFiles/gmoms.dir/baseline/scratchpad_accel.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/baseline/scratchpad_accel.cc.o.d"
+  "/root/repo/src/baseline/traffic_models.cc" "src/CMakeFiles/gmoms.dir/baseline/traffic_models.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/baseline/traffic_models.cc.o.d"
+  "/root/repo/src/cache/burst_assembler.cc" "src/CMakeFiles/gmoms.dir/cache/burst_assembler.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/cache/burst_assembler.cc.o.d"
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/gmoms.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/moms_bank.cc" "src/CMakeFiles/gmoms.dir/cache/moms_bank.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/cache/moms_bank.cc.o.d"
+  "/root/repo/src/cache/moms_system.cc" "src/CMakeFiles/gmoms.dir/cache/moms_system.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/cache/moms_system.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/gmoms.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/subentry_store.cc" "src/CMakeFiles/gmoms.dir/cache/subentry_store.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/cache/subentry_store.cc.o.d"
+  "/root/repo/src/cache/trace_harness.cc" "src/CMakeFiles/gmoms.dir/cache/trace_harness.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/cache/trace_harness.cc.o.d"
+  "/root/repo/src/graph/coo.cc" "src/CMakeFiles/gmoms.dir/graph/coo.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/coo.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/gmoms.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/gmoms.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/gmoms.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/generator.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/gmoms.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/gmoms.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/layout.cc" "src/CMakeFiles/gmoms.dir/graph/layout.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/layout.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/gmoms.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/partition.cc.o.d"
+  "/root/repo/src/graph/reorder.cc" "src/CMakeFiles/gmoms.dir/graph/reorder.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/graph/reorder.cc.o.d"
+  "/root/repo/src/mem/dram_channel.cc" "src/CMakeFiles/gmoms.dir/mem/dram_channel.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/mem/dram_channel.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/gmoms.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/gmoms.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/gmoms.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/gmoms.dir/sim/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

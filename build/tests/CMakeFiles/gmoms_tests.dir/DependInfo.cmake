@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accelerator.cc" "tests/CMakeFiles/gmoms_tests.dir/test_accelerator.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_accelerator.cc.o.d"
+  "/root/repo/tests/test_algo.cc" "tests/CMakeFiles/gmoms_tests.dir/test_algo.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_algo.cc.o.d"
+  "/root/repo/tests/test_bank_contention.cc" "tests/CMakeFiles/gmoms_tests.dir/test_bank_contention.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_bank_contention.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/gmoms_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_burst_assembler.cc" "tests/CMakeFiles/gmoms_tests.dir/test_burst_assembler.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_burst_assembler.cc.o.d"
+  "/root/repo/tests/test_cache_parts.cc" "tests/CMakeFiles/gmoms_tests.dir/test_cache_parts.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_cache_parts.cc.o.d"
+  "/root/repo/tests/test_csr_and_report.cc" "tests/CMakeFiles/gmoms_tests.dir/test_csr_and_report.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_csr_and_report.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/gmoms_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_determinism.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/gmoms_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_dram_calibration.cc" "tests/CMakeFiles/gmoms_tests.dir/test_dram_calibration.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_dram_calibration.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/gmoms_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_graph_io.cc" "tests/CMakeFiles/gmoms_tests.dir/test_graph_io.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_graph_io.cc.o.d"
+  "/root/repo/tests/test_layout.cc" "tests/CMakeFiles/gmoms_tests.dir/test_layout.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_layout.cc.o.d"
+  "/root/repo/tests/test_moms_bank.cc" "tests/CMakeFiles/gmoms_tests.dir/test_moms_bank.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_moms_bank.cc.o.d"
+  "/root/repo/tests/test_moms_crossbar.cc" "tests/CMakeFiles/gmoms_tests.dir/test_moms_crossbar.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_moms_crossbar.cc.o.d"
+  "/root/repo/tests/test_moms_system.cc" "tests/CMakeFiles/gmoms_tests.dir/test_moms_system.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_moms_system.cc.o.d"
+  "/root/repo/tests/test_pe_details.cc" "tests/CMakeFiles/gmoms_tests.dir/test_pe_details.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_pe_details.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/gmoms_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_resource_model.cc" "tests/CMakeFiles/gmoms_tests.dir/test_resource_model.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_resource_model.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/gmoms_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_session.cc" "tests/CMakeFiles/gmoms_tests.dir/test_session.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_session.cc.o.d"
+  "/root/repo/tests/test_sim_kernel.cc" "tests/CMakeFiles/gmoms_tests.dir/test_sim_kernel.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_sim_kernel.cc.o.d"
+  "/root/repo/tests/test_template_semantics.cc" "tests/CMakeFiles/gmoms_tests.dir/test_template_semantics.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_template_semantics.cc.o.d"
+  "/root/repo/tests/test_trace_harness.cc" "tests/CMakeFiles/gmoms_tests.dir/test_trace_harness.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_trace_harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmoms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
