@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "src/graph/datasets.hh"
 #include "src/graph/generator.hh"
 #include "src/graph/reorder.hh"
+#include "src/sim/report.hh"
 
 namespace gmoms::bench
 {
@@ -128,6 +130,97 @@ struct RunOutcome
     RunResult result;
     double freq_mhz = 0;
     double gteps = 0;
+    Engine::Stats engine;    //!< engine activity counters of the run
+    double wall_seconds = 0; //!< wall-clock time of Accelerator::run()
+};
+
+/**
+ * Accumulates simulator-speed numbers across every runOn() call of a
+ * bench process — split into idle-aware and legacy full-tick buckets —
+ * and writes them as BENCH_engine.json (or $GMOMS_BENCH_ENGINE_JSON)
+ * at process exit. When both engine modes ran in the same process the
+ * report includes their cycles/sec ratio ("speedup").
+ */
+class EngineBenchRecorder
+{
+  public:
+    static EngineBenchRecorder&
+    instance()
+    {
+        static EngineBenchRecorder recorder;
+        return recorder;
+    }
+
+    void
+    add(const Engine::Stats& stats, double wall_seconds, bool full_tick)
+    {
+        Bucket& b = full_tick ? full_ : idle_;
+        ++b.runs;
+        b.stats.cycles += stats.cycles;
+        b.stats.cycles_skipped += stats.cycles_skipped;
+        b.stats.ticks_executed += stats.ticks_executed;
+        b.stats.ticks_skipped += stats.ticks_skipped;
+        b.stats.wakes += stats.wakes;
+        b.wall_seconds += wall_seconds;
+    }
+
+    ~EngineBenchRecorder()
+    {
+        if (idle_.runs == 0 && full_.runs == 0)
+            return;
+        const char* env = std::getenv("GMOMS_BENCH_ENGINE_JSON");
+        const std::string path = env ? env : "BENCH_engine.json";
+        std::ofstream os(path);
+        if (!os)
+            return;
+        JsonReport report;
+        appendBucket(report, "idle", idle_);
+        appendBucket(report, "full_tick", full_);
+        if (idle_.runs > 0 && full_.runs > 0 &&
+            idle_.wall_seconds > 0 && full_.wall_seconds > 0) {
+            const double idle_rate =
+                static_cast<double>(idle_.stats.cycles) /
+                idle_.wall_seconds;
+            const double full_rate =
+                static_cast<double>(full_.stats.cycles) /
+                full_.wall_seconds;
+            if (full_rate > 0)
+                report.set("speedup", idle_rate / full_rate);
+        }
+        report.write(os);
+        os << '\n';
+    }
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t runs = 0;
+        Engine::Stats stats;
+        double wall_seconds = 0;
+    };
+
+    static void
+    appendBucket(JsonReport& report, const std::string& prefix,
+                 const Bucket& b)
+    {
+        if (b.runs == 0)
+            return;
+        report.set(prefix + "_runs", b.runs);
+        report.set(prefix + "_sim_cycles", b.stats.cycles)
+            .set(prefix + "_cycles_skipped", b.stats.cycles_skipped)
+            .set(prefix + "_ticks_executed", b.stats.ticks_executed)
+            .set(prefix + "_ticks_skipped", b.stats.ticks_skipped)
+            .set(prefix + "_wakes", b.stats.wakes)
+            .set(prefix + "_wall_seconds", b.wall_seconds)
+            .set(prefix + "_cycles_per_sec",
+                 b.wall_seconds > 0
+                     ? static_cast<double>(b.stats.cycles) /
+                           b.wall_seconds
+                     : 0.0);
+    }
+
+    Bucket idle_;
+    Bucket full_;
 };
 
 /** Run @p cfg on @p g; weights are added when the spec needs them. */
@@ -144,9 +237,14 @@ runOn(CooGraph g, const std::string& algo, AccelConfig cfg)
     PartitionedGraph pg(g, nd, ns);
     Accelerator accel(cfg, pg, spec);
     RunOutcome out;
+    WallTimer timer;
     out.result = accel.run();
+    out.wall_seconds = timer.elapsedSeconds();
+    out.engine = accel.engine().stats();
     out.freq_mhz = modelFrequencyMhz(cfg, spec);
     out.gteps = out.result.gteps(out.freq_mhz);
+    EngineBenchRecorder::instance().add(out.engine, out.wall_seconds,
+                                        accel.engine().fullTick());
     return out;
 }
 

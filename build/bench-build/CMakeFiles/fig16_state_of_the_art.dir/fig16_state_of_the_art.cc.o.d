@@ -218,7 +218,12 @@ bench-build/CMakeFiles/fig16_state_of_the_art.dir/fig16_state_of_the_art.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -275,5 +280,7 @@ bench-build/CMakeFiles/fig16_state_of_the_art.dir/fig16_state_of_the_art.cc.o: \
  /root/repo/src/../src/graph/datasets.hh \
  /root/repo/src/../src/graph/generator.hh \
  /root/repo/src/../src/sim/rng.hh /root/repo/src/../src/graph/reorder.hh \
+ /root/repo/src/../src/sim/report.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/baseline/cpu_baseline.hh \
  /root/repo/src/../src/baseline/fabgraph_model.hh

@@ -190,7 +190,11 @@ bench-build/CMakeFiles/table3_preprocessing.dir/table3_preprocessing.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -271,4 +275,5 @@ bench-build/CMakeFiles/table3_preprocessing.dir/table3_preprocessing.cc.o: \
  /root/repo/src/../src/accel/resource_model.hh \
  /root/repo/src/../src/graph/datasets.hh \
  /root/repo/src/../src/graph/generator.hh \
- /root/repo/src/../src/sim/rng.hh /root/repo/src/../src/graph/reorder.hh
+ /root/repo/src/../src/sim/rng.hh /root/repo/src/../src/graph/reorder.hh \
+ /root/repo/src/../src/sim/report.hh

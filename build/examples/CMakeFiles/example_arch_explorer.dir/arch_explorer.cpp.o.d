@@ -247,4 +247,7 @@ examples/CMakeFiles/example_arch_explorer.dir/arch_explorer.cpp.o: \
  /root/repo/src/../src/graph/datasets.hh \
  /root/repo/src/../src/graph/generator.hh \
  /root/repo/src/../src/sim/rng.hh /root/repo/src/../src/graph/reorder.hh \
- /root/repo/src/../src/sim/report.hh
+ /root/repo/src/../src/sim/report.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc

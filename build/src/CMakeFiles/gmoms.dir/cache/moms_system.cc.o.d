@@ -230,4 +230,7 @@ src/CMakeFiles/gmoms.dir/cache/moms_system.cc.o: \
  /root/repo/src/../src/sim/log.hh \
  /root/repo/src/../src/mem/dram_channel.hh \
  /root/repo/src/../src/mem/dram_config.hh \
- /root/repo/src/../src/mem/mem_types.hh
+ /root/repo/src/../src/mem/mem_types.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

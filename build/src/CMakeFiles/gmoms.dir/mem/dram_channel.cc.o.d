@@ -220,4 +220,8 @@ src/CMakeFiles/gmoms.dir/mem/dram_channel.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/../src/sim/timed_queue.hh /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/../src/sim/log.hh
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/../src/sim/log.hh

@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/gmoms_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_determinism.cc.o.d"
   "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/gmoms_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_dram.cc.o.d"
   "/root/repo/tests/test_dram_calibration.cc" "tests/CMakeFiles/gmoms_tests.dir/test_dram_calibration.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_dram_calibration.cc.o.d"
+  "/root/repo/tests/test_engine_skip.cc" "tests/CMakeFiles/gmoms_tests.dir/test_engine_skip.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_engine_skip.cc.o.d"
   "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/gmoms_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_graph.cc.o.d"
   "/root/repo/tests/test_graph_io.cc" "tests/CMakeFiles/gmoms_tests.dir/test_graph_io.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_graph_io.cc.o.d"
   "/root/repo/tests/test_layout.cc" "tests/CMakeFiles/gmoms_tests.dir/test_layout.cc.o" "gcc" "tests/CMakeFiles/gmoms_tests.dir/test_layout.cc.o.d"

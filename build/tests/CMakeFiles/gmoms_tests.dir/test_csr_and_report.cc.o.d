@@ -296,4 +296,6 @@ tests/CMakeFiles/gmoms_tests.dir/test_csr_and_report.cc.o: \
  /root/repo/src/../src/graph/csr.hh /usr/include/c++/12/span \
  /root/repo/src/../src/graph/coo.hh /root/repo/src/../src/sim/types.hh \
  /root/repo/src/../src/graph/generator.hh \
- /root/repo/src/../src/sim/rng.hh /root/repo/src/../src/sim/report.hh
+ /root/repo/src/../src/sim/rng.hh /root/repo/src/../src/sim/report.hh \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/../src/sim/engine.hh

@@ -295,5 +295,4 @@ tests/CMakeFiles/gmoms_tests.dir/test_sim_kernel.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/../src/sim/engine.hh /root/repo/src/../src/sim/types.hh \
  /root/repo/src/../src/sim/rng.hh /root/repo/src/../src/sim/stats.hh \
- /root/repo/src/../src/sim/timed_queue.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc
+ /root/repo/src/../src/sim/timed_queue.hh

@@ -52,6 +52,12 @@ struct AccelConfig
     /** Safety limit for one run. */
     Cycle max_cycles = 500'000'000;
 
+    /** Run the simulation engine in legacy tick-everything mode
+     *  (cycle- and stat-exact with the default idle-aware mode — see
+     *  tests/test_engine_skip.cc — just slower; also forced globally
+     *  by GMOMS_FULL_TICK=1). */
+    bool full_tick_engine = false;
+
     /** Paper-style label, e.g. "16/16 moms 0k @4ch". */
     std::string
     label() const

@@ -16,6 +16,8 @@ Accelerator::Accelerator(const AccelConfig& cfg,
     }
     if (spec_.weighted != pg.weighted())
         fatal("algorithm/graph weighted mismatch");
+    if (cfg_.full_tick_engine)
+        engine_.setFullTick(true);
 
     // Memory ports: one DMA port per PE, then the MOMS's ports.
     const std::uint32_t dma_ports = cfg_.num_pes;
@@ -83,8 +85,11 @@ Accelerator::run()
     for (std::uint32_t iter = 0;
          iter < spec_.max_iterations && cont; ++iter) {
         sched_->startIteration();
+        // Both predicates here are pure (read simulation state only),
+        // so the engine may fast-forward across all-quiescent gaps.
         const bool done = engine_.runUntil(
-            [this] { return sched_->iterationDone(); }, cfg_.max_cycles);
+            [this] { return sched_->iterationDone(); }, cfg_.max_cycles,
+            Engine::Poll::OnEvents);
         if (!done)
             fatal("accelerator exceeded the cycle budget; deadlock or "
                   "undersized budget");
@@ -101,7 +106,7 @@ Accelerator::run()
     // Let the queues fully drain (writes are already acked, but DRAM
     // response queues may hold stale timing tokens).
     engine_.runUntil([this] { return mem_->idle() && moms_->idle(); },
-                     100000);
+                     100000, Engine::Poll::OnEvents);
 
     result.cycles = engine_.now();
     result.dram_bytes_read = mem_->totalBytesRead();

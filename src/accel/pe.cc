@@ -1,5 +1,7 @@
 #include "src/accel/pe.hh"
 
+#include <algorithm>
+
 #include "src/graph/layout.hh"
 #include "src/sim/log.hh"
 
@@ -22,11 +24,94 @@ Pe::Pe(const Engine& engine, std::string name, std::uint32_t id,
             free_ids_.push_back(cfg.max_threads - 1 - i);
         thread_state_.resize(cfg.max_threads);
     }
+    // Wake on DMA/MOMS responses and on backpressure release.
+    dma_.bindClient(this);
+    moms_->bindClient(this);
+}
+
+Cycle
+Pe::nextActivity() const
+{
+    // A response in flight anywhere (DMA or MOMS, poppable or still
+    // travelling through its queue) bounds the next useful tick: the
+    // tick at its arrival cycle does real work. Reporting in-flight
+    // arrivals here — not just relying on push hooks — keeps the wake
+    // alive across intermediate ticks.
+    const Cycle resp = std::min(dma_.responseReadyCycle(),
+                                moms_->responseReadyCycle());
+    return std::min(resp, phaseActivity());
+}
+
+Cycle
+Pe::phaseActivity() const
+{
+    switch (phase_) {
+      case Phase::Idle:
+        return sched_->hasJobs() ? 0 : kCycleNever;
+      case Phase::FetchPtrs: {
+        const std::uint64_t total = 8ull * job_.qs;
+        if (ptr_bytes_received_ >= total)
+            return 0;  // phase transition pending
+        if (ptr_bytes_requested_ < total &&
+            dma_.canSend(job_.ptr_base + ptr_bytes_requested_))
+            return 0;
+        return kCycleNever;  // waiting on pointer data / port space
+      }
+      case Phase::Init:
+        if (init_nodes_consumed_ >= job_.count)
+            return 0;  // phase transition pending
+        if (4 * (init_nodes_consumed_ + 1) <= init_bytes_received_)
+            return 0;  // nodes to consume
+        if (!init_burst_outstanding_ &&
+            init_bytes_requested_ < init_bytes_total_ &&
+            dma_.canSend(init_region_base_ + init_bytes_requested_))
+            return 0;
+        return kCycleNever;  // waiting on the outstanding burst
+      case Phase::Stream:
+        // A parked response (RAW hazard) or a non-empty decode queue
+        // counts stalls every cycle: stay active.
+        if (pending_resp_ || !decode_q_.empty())
+            return 0;
+        if (edge_bursts_inflight_ < cfg_->max_edge_bursts &&
+            !shards_.empty() && dma_.canSend(shards_.front().addr))
+            return 0;
+        if (shards_.empty() && edge_pending_.empty() &&
+            threads_outstanding_ == 0)
+            return 0;  // phase transition pending
+        return kCycleNever;  // waiting on edge bursts / MOMS threads
+      case Phase::Writeback:
+        // Staging progresses every cycle until the interval is fully
+        // written (rollback loops included — legacy re-stages them).
+        if (wb_nodes_written_ < job_.count || wb_bytes_staged_ != 0)
+            return 0;
+        if (wb_writes_unacked_ == 0)
+            return 0;  // phase transition pending
+        return kCycleNever;  // waiting on write acks
+    }
+    return 0;
+}
+
+void
+Pe::catchUp(Cycle upto)
+{
+    if (upto <= cycle_accounted_until_)
+        return;
+    // Ticks skipped while asleep would only have bumped the occupancy
+    // counters: idle when parked without a job, busy in any phase.
+    const std::uint64_t gap = upto - cycle_accounted_until_;
+    if (phase_ == Phase::Idle)
+        stats_.idle_cycles += gap;
+    else
+        stats_.busy_cycles += gap;
+    cycle_accounted_until_ = upto;
 }
 
 void
 Pe::tick()
 {
+    catchUp(engine_.now());
+    cycle_accounted_until_ = engine_.now() + 1;
+
     drainDmaResponses();
 
     switch (phase_) {

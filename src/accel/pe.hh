@@ -59,6 +59,17 @@ class Pe : public Component
 
     void tick() override;
 
+    /**
+     * Quiescence: a PE may only sleep in states where a tick would do
+     * nothing but bump busy_/idle_cycles (reconstructed by catchUp):
+     * waiting on DMA responses, MOMS responses or port backpressure
+     * with no decodable edge, no pending transition and no per-cycle
+     * stall accounting (a parked MOMS response or non-empty decode
+     * queue counts stalls every cycle, so those states stay active).
+     */
+    Cycle nextActivity() const override;
+    void catchUp(Cycle upto) override;
+
     /** True when the PE holds no job and has no in-flight work. */
     bool idle() const { return phase_ == Phase::Idle; }
 
@@ -66,6 +77,10 @@ class Pe : public Component
 
   private:
     enum class Phase { Idle, FetchPtrs, Init, Stream, Writeback };
+
+    /** Phase-dependent part of nextActivity() (response arrivals are
+     *  folded in by the caller). */
+    Cycle phaseActivity() const;
 
     // DMA tag layout: [63:56] kind, [55:0] sequence/extra.
     enum class DmaKind : std::uint64_t
@@ -172,6 +187,10 @@ class Pe : public Component
     Addr wb_burst_addr_ = 0;
     std::uint32_t wb_writes_unacked_ = 0;
     std::uint64_t wb_seq_ = 0;
+
+    /** First cycle busy_/idle_cycles has not accounted for yet (full
+     *  tick adds one per cycle; skipped cycles are applied in bulk). */
+    Cycle cycle_accounted_until_ = 0;
 
     Stats stats_;
 };

@@ -47,6 +47,10 @@ class Scheduler
     /** Next unclaimed job, if any (PEs call this when idle). */
     std::optional<Job> pull();
 
+    /** True while pull() would hand out a job (side-effect-free; used
+     *  by idle PEs' quiescence checks). */
+    bool hasJobs() const { return next_ < pg_->qd(); }
+
     /** PE completion callback with the interval's updated flag. */
     void complete(std::uint32_t d, bool updated);
 

@@ -21,6 +21,24 @@ BurstAssembler::BurstAssembler(const Engine& engine, std::string name,
         kInterleaveBytes)
         fatal("BurstAssembler window must not exceed the channel "
               "interleave unit");
+    port_.bindClient(this);  // wake on burst responses / port space
+}
+
+Cycle
+BurstAssembler::nextActivity() const
+{
+    const Cycle now = engine_.now();
+    // An in-flight burst response bounds the next tick (the port hook
+    // only covers pushes that land while we are asleep).
+    Cycle next = port_.responseReadyCycle();
+    for (const auto& [base, window] : open_) {
+        const bool full = std::popcount(window.mask) >=
+                          static_cast<int>(cfg_.window_lines);
+        if (full || now - window.opened >= cfg_.wait_cycles)
+            return 0;  // flushable now (one burst per cycle)
+        next = std::min(next, window.opened + cfg_.wait_cycles);
+    }
+    return next;
 }
 
 bool
@@ -40,6 +58,9 @@ BurstAssembler::send(Addr line)
     auto [it, inserted] = open_.try_emplace(
         base, Window{0, engine_.now()});
     it->second.mask |= std::uint64_t{1} << idx;
+    // Called from the bank's tick: re-evaluate our calendar entry (the
+    // window may now be full, or a new expiry timer just started).
+    requestSelfWake(engine_.now());
 }
 
 std::optional<Addr>
@@ -73,6 +94,7 @@ void
 BurstAssembler::tick()
 {
     // Complete bursts: fan every *requested* line out to the bank.
+    bool delivered = false;
     while (auto resp = port_.receive()) {
         auto it = in_flight_.find(resp->tag);
         if (it == in_flight_.end())
@@ -83,7 +105,12 @@ BurstAssembler::tick()
                 ready_.push_back(base +
                                  static_cast<Addr>(i) * kLineBytes);
         in_flight_.erase(it);
+        delivered = true;
     }
+    // The bank ticks after us (it is registered later): same-cycle
+    // wake so it can absorb the lines exactly as under full tick.
+    if (delivered)
+        Engine::wake(upstream_, engine_.now());
 
     // Flush full or expired windows (one burst per cycle).
     for (auto it = open_.begin(); it != open_.end(); ++it) {

@@ -55,8 +55,25 @@ class BurstAssembler : public Component, public LineDownstream
     bool canSend(Addr line) const override;
     void send(Addr line) override;
     std::optional<Addr> receive() override;
+    /** Delivered lines are poppable immediately; lines still inside a
+     *  DRAM burst are reported by our own nextActivity() and handed to
+     *  the bank with a same-cycle wake from tick(). */
+    Cycle
+    lineReadyCycle() const override
+    {
+        return ready_.empty() ? kCycleNever : 0;
+    }
+    void bindUpstream(Component* bank) override { upstream_ = bank; }
 
     void tick() override;
+
+    /**
+     * Quiescence: sleeps unless a window is flushable now (full or
+     * expired), will expire at a known future cycle, or a burst
+     * response is in flight on the DRAM port. New send() calls from
+     * the bank self-wake the assembler.
+     */
+    Cycle nextActivity() const override;
 
     const Stats& stats() const { return stats_; }
 
@@ -80,6 +97,7 @@ class BurstAssembler : public Component, public LineDownstream
     const Engine& engine_;
     BurstAssemblerConfig cfg_;
     MemPort port_;
+    Component* upstream_ = nullptr;  //!< bank to wake on line delivery
     std::unordered_map<Addr, Window> open_;
     /** Requested-line masks of bursts in flight, keyed by burst tag. */
     std::unordered_map<std::uint64_t, std::pair<Addr, std::uint64_t>>

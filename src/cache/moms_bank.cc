@@ -1,5 +1,7 @@
 #include "src/cache/moms_bank.hh"
 
+#include <algorithm>
+
 #include "src/sim/log.hh"
 
 namespace gmoms
@@ -20,6 +22,27 @@ MomsBank::MomsBank(const Engine& engine, std::string name,
                                               cfg.mshr_tables,
                                               cfg.max_kicks);
     }
+    // Wake on request arrival and on response-queue backpressure
+    // release (a blocked hit/drain can proceed).
+    cpu_req_in_.setConsumer(this);
+    cpu_resp_out_.setProducer(this);
+}
+
+Cycle
+MomsBank::nextActivity() const
+{
+    if (drain_cursor_ != kNoSubentry || !drain_pending_.empty())
+        return 0;  // drain engine busy (or stalling) every cycle
+    if (retry_)
+        return 0;  // stalled request retries (and counts) every cycle
+    // Cycle-valued: in-flight tokens (requests in the input queue,
+    // lines travelling back from downstream) bound the next tick even
+    // when they are not poppable yet — queue hooks only cover pushes
+    // that happen while the bank is asleep.
+    Cycle next = cpu_req_in_.peekReadyCycle();
+    if (mshrs_->occupancy() > 0 && down_ != nullptr)
+        next = std::min(next, down_->lineReadyCycle());
+    return next;
 }
 
 void

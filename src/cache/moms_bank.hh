@@ -49,6 +49,21 @@ class LineDownstream
     virtual void send(Addr line) = 0;
     /** Poll for a completed line. */
     virtual std::optional<Addr> receive() = 0;
+    /**
+     * Earliest cycle receive() may yield a line. Used by the bank's
+     * quiescence check; implementations must report *in-flight* lines
+     * (a token already pushed toward the bank but not yet poppable),
+     * not just currently-deliverable ones — wake hooks only cover
+     * pushes that happen while the bank is asleep, so an arrival the
+     * bank learned of and then lost by ticking in between must be
+     * re-reported here. The conservative default (always "now") keeps
+     * hook-less implementations (test fakes) polled every cycle, which
+     * is exactly the legacy behavior.
+     */
+    virtual Cycle lineReadyCycle() const { return 0; }
+    /** Learn the owning bank, for wake-ups on line delivery. Overridden
+     *  only by implementations that also override lineReadyCycle(). */
+    virtual void bindUpstream(Component* bank) { (void)bank; }
 };
 
 /**
@@ -97,12 +112,26 @@ class MomsBank : public Component
              const MomsBankConfig& cfg);
 
     /** Attach the memory side; must be called before the first tick. */
-    void connectDownstream(LineDownstream* down) { down_ = down; }
+    void
+    connectDownstream(LineDownstream* down)
+    {
+        down_ = down;
+        down->bindUpstream(this);
+    }
 
     TimedQueue<ReadReq>& cpuReqIn() { return cpu_req_in_; }
     TimedQueue<ReadResp>& cpuRespOut() { return cpu_resp_out_; }
 
     void tick() override;
+
+    /**
+     * Quiescence: the bank must stay active whenever any per-cycle
+     * work or stall accounting could occur — draining, a retried
+     * request, a poppable input, or outstanding misses with a
+     * downstream that may deliver a line. Otherwise it sleeps until a
+     * queue hook or the downstream's bindUpstream() wake fires.
+     */
+    Cycle nextActivity() const override;
 
     /** Drop all cached lines (iteration boundary). */
     void invalidateCache() { cache_.invalidateAll(); }

@@ -1,5 +1,7 @@
 #include "src/cache/moms_system.hh"
 
+#include <algorithm>
+
 #include "src/sim/log.hh"
 
 namespace gmoms
@@ -154,6 +156,14 @@ struct MomsSystem::DramAdapter : public LineDownstream
             return resp->addr;
         return std::nullopt;
     }
+    Cycle lineReadyCycle() const override
+    {
+        return port.responseReadyCycle();
+    }
+    void bindUpstream(Component* bank) override
+    {
+        port.bindClient(bank);
+    }
 
     MemPort port;
 };
@@ -179,6 +189,15 @@ struct MomsSystem::SharedLevelAdapter : public LineDownstream
         if (resp.canPop())
             return lineOf(resp.pop().addr);
         return std::nullopt;
+    }
+    Cycle lineReadyCycle() const override
+    {
+        return resp.peekReadyCycle();
+    }
+    void bindUpstream(Component* bank) override
+    {
+        req.setProducer(bank);
+        resp.setConsumer(bank);
     }
 
     TimedQueue<ReadReq>& req;
@@ -207,6 +226,15 @@ struct MomsSystem::BankDirectPort : public SourcePort
             return bank.cpuRespOut().pop();
         return std::nullopt;
     }
+    Cycle responseReadyCycle() const override
+    {
+        return bank.cpuRespOut().peekReadyCycle();
+    }
+    void bindClient(Component* pe) override
+    {
+        bank.cpuReqIn().setProducer(pe);
+        bank.cpuRespOut().setConsumer(pe);
+    }
 
     MomsBank& bank;
     std::uint32_t client;
@@ -233,6 +261,15 @@ struct MomsSystem::CrossbarPort : public SourcePort
         if (resp.canPop())
             return resp.pop();
         return std::nullopt;
+    }
+    Cycle responseReadyCycle() const override
+    {
+        return resp.peekReadyCycle();
+    }
+    void bindClient(Component* pe) override
+    {
+        req.setProducer(pe);
+        resp.setConsumer(pe);
     }
 
     TimedQueue<ReadReq>& req;
@@ -278,6 +315,10 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
             }
             ++mem_ports_used_;
             engine.add(shared_banks_.back().get());
+            // The crossbar (this component) feeds the bank's request
+            // queue and drains its response queue.
+            shared_banks_.back()->cpuReqIn().setProducer(this);
+            shared_banks_.back()->cpuRespOut().setConsumer(this);
         }
     }
 
@@ -290,6 +331,8 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
                 engine, cap, cfg.crossing_latency));
             xbar_resp_.push_back(std::make_unique<TimedQueue<ReadResp>>(
                 engine, cap, cfg.crossing_latency));
+            xbar_req_.back()->setConsumer(this);
+            xbar_resp_.back()->setProducer(this);
         }
     }
 
@@ -355,11 +398,47 @@ MomsSystem::bankOf(Addr line) const
     return ch * per_channel + sub;
 }
 
+Cycle
+MomsSystem::nextActivity() const
+{
+    if (shared_banks_.empty())
+        return kCycleNever;  // private-only: tick is a no-op
+    // Cycle-valued over in-flight tokens (see LineDownstream): a token
+    // already travelling through a crossbar queue or a bank response
+    // port bounds the next arbitration cycle even if not poppable yet.
+    Cycle next = kCycleNever;
+    for (const auto& q : xbar_req_)
+        next = std::min(next, q->peekReadyCycle());
+    for (const auto& b : shared_banks_)
+        next = std::min(next, b->cpuRespOut().peekReadyCycle());
+    return next;
+}
+
+void
+MomsSystem::catchUp(Cycle upto)
+{
+    if (shared_banks_.empty() || upto <= rr_accounted_until_)
+        return;
+    // Under full tick the arbitration pointers advance once per cycle
+    // whether or not any token moves; reproduce the skipped increments
+    // (uint32 wraparound matches repeated ++).
+    const std::uint32_t gap =
+        static_cast<std::uint32_t>(upto - rr_accounted_until_);
+    xbar_req_rr_ += gap;
+    xbar_resp_rr_ += gap;
+    rr_accounted_until_ = upto;
+}
+
 void
 MomsSystem::tick()
 {
     if (shared_banks_.empty())
         return;  // private-only: banks talk to DRAM directly
+
+    // Account arbitration-pointer drift over any skipped cycles; this
+    // tick's own increments (below) cover the current cycle.
+    catchUp(engine_.now());
+    rr_accounted_until_ = engine_.now() + 1;
 
     const std::uint32_t clients =
         static_cast<std::uint32_t>(xbar_req_.size());

@@ -40,6 +40,14 @@ class SourcePort
     virtual bool canSend() const = 0;
     virtual bool send(const ReadReq& req) = 0;
     virtual std::optional<ReadResp> receive() = 0;
+    /** Earliest cycle receive() may yield a response — kCycleNever
+     *  when nothing is in flight. Must report in-flight responses (not
+     *  just currently-poppable ones) so a sleeping PE is re-armed by
+     *  its own quiescence check; see LineDownstream::lineReadyCycle(). */
+    virtual Cycle responseReadyCycle() const = 0;
+    /** Bind the requesting PE for engine wake-ups: woken when a
+     *  response becomes poppable and when a full request path frees. */
+    virtual void bindClient(Component* pe) = 0;
 };
 
 struct MomsConfig
@@ -112,6 +120,16 @@ class MomsSystem : public Component
     /** Crossbar movement for shared topologies; banks tick themselves. */
     void tick() override;
 
+    /**
+     * Quiescence: active whenever any crossbar input or shared-bank
+     * response is poppable; otherwise sleeps (queue hooks re-wake it).
+     * The free-running arbitration pointers it would have advanced
+     * while asleep are reconstructed by catchUp()/gap accounting, so
+     * arbitration order is bit-exact with the full-tick engine.
+     */
+    Cycle nextActivity() const override;
+    void catchUp(Cycle upto) override;
+
     /** Invalidate every cache array (iteration boundary). */
     void invalidateCaches();
 
@@ -172,6 +190,10 @@ class MomsSystem : public Component
     std::vector<std::unique_ptr<TimedQueue<ReadResp>>> xbar_resp_;
     std::uint32_t xbar_req_rr_ = 0;
     std::uint32_t xbar_resp_rr_ = 0;
+    /** Next cycle the rr pointers have not yet accounted for: under
+     *  full tick they advance every cycle; when ticks are skipped the
+     *  missed increments are applied in bulk (tick()/catchUp()). */
+    Cycle rr_accounted_until_ = 0;
     // Per-cycle arbitration scratch (members to avoid reallocation).
     std::vector<bool> bank_claimed_;
     std::vector<bool> client_claimed_;

@@ -82,6 +82,10 @@ replayTrace(const MomsConfig& moms_cfg, const TraceConfig& cfg,
     for (std::uint32_t c = 0; c < cfg.num_clients; ++c)
         rngs.emplace_back(cfg.seed + c);
 
+    // The predicate injects requests and drains responses, so it must
+    // run every cycle (Poll::EveryCycle, the default): the engine may
+    // still skip idle components — their queue wake hooks cover the
+    // predicate's pushes — but must never fast-forward now_.
     const bool ok = eng.runUntil(
         [&] {
             bool all = true;

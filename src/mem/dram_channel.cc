@@ -1,5 +1,6 @@
 #include "src/mem/dram_channel.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "src/sim/log.hh"
@@ -21,6 +22,10 @@ DramChannel::DramChannel(const Engine& engine, std::string name,
             engine_, cfg.port_queue_depth, 1));
         resp_ports_.push_back(std::make_unique<TimedQueue<MemResp>>(
             engine_, cfg.resp_queue_depth, 1));
+        // Wake the channel when a request arrives and when a full
+        // response queue frees a slot (delivery was backpressured).
+        req_ports_.back()->setConsumer(this);
+        resp_ports_.back()->setProducer(this);
     }
 }
 
@@ -84,6 +89,31 @@ DramChannel::tick()
         next_port_ = (p + 1) % n;
         break;
     }
+}
+
+Cycle
+DramChannel::nextActivity() const
+{
+    const Cycle now = engine_.now();
+    Cycle next = kCycleNever;
+    if (!in_flight_.empty()) {
+        if (in_flight_.front().complete_at > now)
+            next = in_flight_.front().complete_at;
+        else if (resp_ports_[in_flight_.front().port]->canPush())
+            return 0;  // deliverable now (tick raced the wake)
+        // else: blocked on a full response queue; its producer hook
+        // (bound in the constructor) wakes us when a slot frees.
+    }
+    for (const auto& rq : req_ports_) {
+        // In-flight requests count too: a token pushed toward us with
+        // arrival cycle r can first be accepted at max(r, bus free),
+        // and never before next cycle (we just ticked).
+        const Cycle r = rq->peekReadyCycle();
+        if (r != kCycleNever)
+            next = std::min(next,
+                            std::max({r, bus_free_at_, now + 1}));
+    }
+    return next;
 }
 
 bool

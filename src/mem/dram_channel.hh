@@ -63,6 +63,15 @@ class DramChannel : public Component
 
     void tick() override;
 
+    /**
+     * Quiescence: nothing happens between ticks except time passing —
+     * the channel sleeps until the earliest of (a) the next in-flight
+     * completion, (b) the bus freeing with a request pending. Request
+     * arrivals and response-queue backpressure release are covered by
+     * the queue wake hooks bound in the constructor.
+     */
+    Cycle nextActivity() const override;
+
     const Stats& stats() const { return stats_; }
     const DramConfig& config() const { return cfg_; }
 

@@ -1,5 +1,7 @@
 #include "src/mem/memory_system.hh"
 
+#include <algorithm>
+
 #include "src/sim/log.hh"
 
 namespace gmoms
@@ -78,14 +80,26 @@ MemPort::receive()
     return std::nullopt;
 }
 
-bool
-MemPort::hasResponse() const
+void
+MemPort::bindClient(Component* c)
 {
     const std::uint32_t n = sys_->numChannels();
+    for (std::uint32_t ch = 0; ch < n; ++ch) {
+        sys_->channels_[ch]->reqPort(port_).setProducer(c);
+        sys_->channels_[ch]->respPort(port_).setConsumer(c);
+    }
+}
+
+Cycle
+MemPort::responseReadyCycle() const
+{
+    const std::uint32_t n = sys_->numChannels();
+    Cycle next = kCycleNever;
     for (std::uint32_t c = 0; c < n; ++c)
-        if (sys_->channels_[c]->respPort(port_).canPop())
-            return true;
-    return false;
+        next = std::min(next,
+                        sys_->channels_[c]->respPort(port_)
+                            .peekReadyCycle());
+    return next;
 }
 
 } // namespace gmoms

@@ -45,8 +45,18 @@ class MemPort
     /** Pop one completed transaction, if any arrived. */
     std::optional<MemResp> receive();
 
-    /** True when a response is waiting. */
-    bool hasResponse() const;
+    /** Earliest cycle receive() may yield a response across all
+     *  channels; kCycleNever when nothing is in flight in the response
+     *  queues. Reports in-flight tokens (not just poppable ones) for
+     *  the requester's quiescence check. */
+    Cycle responseReadyCycle() const;
+
+    /**
+     * Bind @p c as this port's requester for engine wake-ups: @p c is
+     * woken when a response arrives on any channel and when a full
+     * request queue frees a slot (a rejected send can be retried).
+     */
+    void bindClient(Component* c);
 
   private:
     MemorySystem* sys_ = nullptr;

@@ -57,4 +57,27 @@ JsonReport::str() const
     return ss.str();
 }
 
+JsonReport
+engineReport(const Engine::Stats& stats, double wall_seconds)
+{
+    const std::uint64_t ticks_total =
+        stats.ticks_executed + stats.ticks_skipped;
+    JsonReport report;
+    report.set("sim_cycles", stats.cycles)
+        .set("cycles_skipped", stats.cycles_skipped)
+        .set("ticks_executed", stats.ticks_executed)
+        .set("ticks_skipped", stats.ticks_skipped)
+        .set("tick_skip_fraction",
+             ticks_total ? static_cast<double>(stats.ticks_skipped) /
+                               static_cast<double>(ticks_total)
+                         : 0.0)
+        .set("wakes", stats.wakes)
+        .set("wall_seconds", wall_seconds)
+        .set("cycles_per_sec",
+             wall_seconds > 0.0
+                 ? static_cast<double>(stats.cycles) / wall_seconds
+                 : 0.0);
+    return report;
+}
+
 } // namespace gmoms

@@ -8,14 +8,37 @@
 #ifndef GMOMS_SIM_REPORT_HH
 #define GMOMS_SIM_REPORT_HH
 
+#include <chrono>
 #include <map>
 #include <ostream>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "src/sim/engine.hh"
+
 namespace gmoms
 {
+
+/** Wall-clock stopwatch for simulator-speed reporting. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Seconds since construction or the last restart(). */
+    double
+    elapsedSeconds() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** A flat JSON-object builder (string/number/bool leaves only). */
 class JsonReport
@@ -39,6 +62,14 @@ class JsonReport
 
     std::vector<std::pair<std::string, Value>> entries_;
 };
+
+/**
+ * Engine-speed report: simulated cycles, ticks executed/skipped and
+ * the simulated-cycles-per-wall-second rate, as a flat JSON object
+ * (the payload of BENCH_engine.json, see bench/bench_common.hh).
+ */
+JsonReport engineReport(const Engine::Stats& stats,
+                        double wall_seconds);
 
 } // namespace gmoms
 

@@ -7,6 +7,18 @@
  * backpressure: push() fails when the queue is full, and the producer must
  * retry in a later cycle (exactly like a ready/valid handshake).
  *
+ * Storage is a preallocated ring buffer (capacity is fixed at
+ * construction), so pushes and pops never allocate. T must be
+ * default-constructible (all link payloads are plain aggregates).
+ *
+ * Wake hooks for the idle-aware engine: when a producer/consumer
+ * component is bound via setProducer()/setConsumer(), a push wakes the
+ * consumer at the cycle the token becomes poppable, and a pop that frees
+ * a slot of a previously-full queue wakes the producer so it can retry a
+ * rejected push. Unbound endpoints (test harnesses driving queues from
+ * runUntil predicates) simply get no wakes — they are covered by the
+ * engine's every-cycle predicate polling.
+ *
  * Die crossings (Fig. 5 of the paper) are modelled by raising the latency
  * to the crossing delay and ensuring capacity >= latency + 2, mirroring the
  * paper's "queue needs at least four slots" observation for a 2-cycle
@@ -17,8 +29,8 @@
 #define GMOMS_SIM_TIMED_QUEUE_HH
 
 #include <cassert>
-#include <deque>
 #include <utility>
+#include <vector>
 
 #include "src/sim/engine.hh"
 #include "src/sim/types.hh"
@@ -36,18 +48,24 @@ class TimedQueue
      * @param latency  Cycles between push and earliest pop (>= 1).
      */
     TimedQueue(const Engine& engine, std::size_t capacity, Cycle latency = 1)
-        : engine_(&engine), capacity_(capacity), latency_(latency)
+        : engine_(&engine), capacity_(capacity), latency_(latency),
+          ring_(capacity)
     {
         assert(latency_ >= 1 && "zero-latency links break tick-order "
                "independence");
         assert(capacity_ >= 1);
     }
 
+    /** Component woken when a pop frees a slot of a full queue. */
+    void setProducer(Component* p) { producer_ = p; }
+    /** Component woken when a pushed token becomes poppable. */
+    void setConsumer(Component* c) { consumer_ = c; }
+
     /** True if a push this cycle would be accepted. */
-    bool canPush() const { return q_.size() < capacity_; }
+    bool canPush() const { return size_ < capacity_; }
 
     /** Free slots right now. */
-    std::size_t freeSlots() const { return capacity_ - q_.size(); }
+    std::size_t freeSlots() const { return capacity_ - size_; }
 
     /**
      * Push a token; visible to the consumer after the link latency.
@@ -56,9 +74,13 @@ class TimedQueue
     bool
     push(T item)
     {
-        if (!canPush())
+        if (size_ == capacity_)
             return false;
-        q_.push_back(Slot{std::move(item), engine_->now() + latency_});
+        Slot& slot = ring_[wrap(head_ + size_)];
+        slot.item = std::move(item);
+        slot.ready = engine_->now() + latency_;
+        ++size_;
+        Engine::wake(consumer_, slot.ready);
         return true;
     }
 
@@ -66,7 +88,7 @@ class TimedQueue
     bool
     canPop() const
     {
-        return !q_.empty() && q_.front().ready <= engine_->now();
+        return size_ != 0 && ring_[head_].ready <= engine_->now();
     }
 
     /** Head token; only valid when canPop(). */
@@ -74,7 +96,7 @@ class TimedQueue
     front() const
     {
         assert(canPop());
-        return q_.front().item;
+        return ring_[head_].item;
     }
 
     /** Remove and return the head token; only valid when canPop(). */
@@ -82,27 +104,48 @@ class TimedQueue
     pop()
     {
         assert(canPop());
-        T item = std::move(q_.front().item);
-        q_.pop_front();
+        const bool was_full = size_ == capacity_;
+        T item = std::move(ring_[head_].item);
+        head_ = wrap(head_ + 1);
+        --size_;
+        if (was_full)
+            Engine::wake(producer_, engine_->now());
         return item;
     }
 
-    bool empty() const { return q_.empty(); }
-    std::size_t size() const { return q_.size(); }
+    /** Cycle the head token becomes poppable; kCycleNever when empty
+     *  (for the wake calendar). */
+    Cycle
+    peekReadyCycle() const
+    {
+        return size_ != 0 ? ring_[head_].ready : kCycleNever;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
     Cycle latency() const { return latency_; }
 
   private:
     struct Slot
     {
-        T item;
-        Cycle ready;
+        T item{};
+        Cycle ready = 0;
     };
+
+    std::size_t wrap(std::size_t i) const
+    {
+        return i >= capacity_ ? i - capacity_ : i;
+    }
 
     const Engine* engine_;
     std::size_t capacity_;
     Cycle latency_;
-    std::deque<Slot> q_;
+    std::vector<Slot> ring_;
+    Component* producer_ = nullptr;
+    Component* consumer_ = nullptr;
+    std::size_t head_ = 0;  //!< index of the oldest token
+    std::size_t size_ = 0;
 };
 
 } // namespace gmoms

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Idle-aware engine tests: the wake calendar, queue wake hooks,
+ * time-skip, registration guards, the TimedQueue ring buffer, and —
+ * most importantly — bit-exact equivalence between the idle-aware
+ * engine and the legacy full-tick engine on end-to-end accelerator
+ * runs (cycles, results and every statistic must match).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/accel/accelerator.hh"
+#include "src/graph/generator.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/log.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/timed_queue.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Engine::add guards.
+// ---------------------------------------------------------------------
+
+class NopComponent : public Component
+{
+  public:
+    NopComponent() : Component("nop") {}
+    void tick() override {}
+};
+
+TEST(EngineAdd, RejectsNullComponent)
+{
+    Engine eng;
+    EXPECT_THROW(eng.add(nullptr), FatalError);
+    EXPECT_EQ(eng.numComponents(), 0u);
+}
+
+TEST(EngineAdd, RejectsDuplicateRegistration)
+{
+    Engine eng;
+    NopComponent c;
+    eng.add(&c);
+    EXPECT_THROW(eng.add(&c), FatalError);
+    EXPECT_EQ(eng.numComponents(), 1u);
+}
+
+TEST(EngineAdd, RejectsComponentOfAnotherEngine)
+{
+    Engine a, b;
+    NopComponent c;
+    a.add(&c);
+    EXPECT_THROW(b.add(&c), FatalError);
+    EXPECT_EQ(c.boundEngine(), &a);
+}
+
+// ---------------------------------------------------------------------
+// Component skipping and the wake calendar.
+// ---------------------------------------------------------------------
+
+/** Always active (default nextActivity), counts its ticks. */
+class BusyComponent : public Component
+{
+  public:
+    BusyComponent() : Component("busy") {}
+    void tick() override { ++ticks; }
+    std::uint64_t ticks = 0;
+};
+
+/** Declares itself permanently blocked on a link. */
+class BlockedComponent : public Component
+{
+  public:
+    BlockedComponent() : Component("blocked") {}
+    void tick() override { ++ticks; }
+    Cycle nextActivity() const override { return kCycleNever; }
+    std::uint64_t ticks = 0;
+};
+
+/** Sleeps for a fixed period between ticks (a timeout-style alarm). */
+class AlarmComponent : public Component
+{
+  public:
+    AlarmComponent(const Engine& eng, Cycle period)
+        : Component("alarm"), eng_(eng), period_(period)
+    {
+    }
+    void tick() override { tick_cycles.push_back(eng_.now()); }
+    Cycle nextActivity() const override { return eng_.now() + period_; }
+    std::vector<Cycle> tick_cycles;
+
+  private:
+    const Engine& eng_;
+    Cycle period_;
+};
+
+TEST(EngineSkip, BlockedComponentsAreNotTicked)
+{
+    Engine eng;
+    BusyComponent busy;
+    BlockedComponent blocked;
+    eng.add(&busy);
+    eng.add(&blocked);
+    eng.runUntil([] { return false; }, 50);
+    // wakeAll() at runUntil entry gives the blocked component exactly
+    // one observation tick; after that it sleeps.
+    EXPECT_EQ(busy.ticks, 50u);
+    EXPECT_EQ(blocked.ticks, 1u);
+    EXPECT_EQ(eng.stats().ticks_executed, 51u);
+    EXPECT_EQ(eng.stats().ticks_skipped, 49u);
+    EXPECT_EQ(eng.stats().cycles_skipped, 0u);  // EveryCycle: no skips
+}
+
+TEST(EngineSkip, AlarmTicksExactlyOnItsPeriod)
+{
+    Engine eng;
+    AlarmComponent alarm(eng, 10);
+    eng.add(&alarm);
+    eng.runUntil([] { return false; }, 35);
+    EXPECT_EQ(alarm.tick_cycles, (std::vector<Cycle>{0, 10, 20, 30}));
+}
+
+TEST(EngineSkip, OnEventsFastForwardsTime)
+{
+    Engine eng;
+    AlarmComponent alarm(eng, 100);
+    eng.add(&alarm);
+    const bool fired =
+        eng.runUntil([] { return false; }, 1000, Engine::Poll::OnEvents);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eng.now(), 1000u);
+    EXPECT_EQ(alarm.tick_cycles.size(), 10u);  // 0, 100, ..., 900
+    EXPECT_EQ(eng.stats().cycles, 1000u);
+    EXPECT_EQ(eng.stats().cycles_skipped, 990u);
+    EXPECT_EQ(eng.stats().ticks_executed, 10u);
+}
+
+TEST(EngineSkip, OnEventsHonorsDeadlineWhenEverythingSleeps)
+{
+    Engine eng;
+    BlockedComponent blocked;
+    eng.add(&blocked);
+    const bool fired =
+        eng.runUntil([] { return false; }, 50, Engine::Poll::OnEvents);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eng.now(), 50u);
+    EXPECT_EQ(blocked.ticks, 1u);
+    EXPECT_EQ(eng.stats().cycles_skipped, 49u);
+}
+
+TEST(EngineSkip, OnEventsPanicsOnUnboundedDeadlock)
+{
+    Engine eng;
+    BlockedComponent blocked;
+    eng.add(&blocked);
+    // Everything quiescent, no cycle limit, pure predicate that never
+    // fires: the run could only spin forever. The engine must say so.
+    EXPECT_THROW(eng.runUntil([] { return false; }, kCycleNever,
+                              Engine::Poll::OnEvents),
+                 PanicError);
+}
+
+// ---------------------------------------------------------------------
+// TimedQueue wake hooks.
+// ---------------------------------------------------------------------
+
+/** Pops every token as soon as it arrives; sleeps on an empty queue. */
+class SleepyConsumer : public Component
+{
+  public:
+    SleepyConsumer(const Engine& eng, TimedQueue<int>& q)
+        : Component("consumer"), eng_(eng), q_(q)
+    {
+    }
+    void
+    tick() override
+    {
+        ++ticks;
+        while (q_.canPop())
+            got.push_back({q_.pop(), eng_.now()});
+    }
+    Cycle nextActivity() const override { return q_.peekReadyCycle(); }
+
+    std::uint64_t ticks = 0;
+    std::vector<std::pair<int, Cycle>> got;
+
+  private:
+    const Engine& eng_;
+    TimedQueue<int>& q_;
+};
+
+TEST(EngineSkip, PushWakesConsumerWhenTokenArrives)
+{
+    Engine eng;
+    TimedQueue<int> q(eng, 4, 3);
+    SleepyConsumer consumer(eng, q);
+    eng.add(&consumer);
+    q.setConsumer(&consumer);
+
+    eng.runUntil(
+        [&] {
+            if (eng.now() == 10)
+                q.push(7);
+            return false;
+        },
+        20);
+
+    // One observation tick at cycle 0, then exactly one tick at cycle
+    // 13 when the token pushed in cycle 10 becomes visible.
+    ASSERT_EQ(consumer.got.size(), 1u);
+    EXPECT_EQ(consumer.got[0].first, 7);
+    EXPECT_EQ(consumer.got[0].second, 13u);
+    EXPECT_EQ(consumer.ticks, 2u);
+}
+
+/** Pushes a fixed number of tokens, retrying through backpressure;
+ *  sleeps while the queue is full. */
+class BackpressuredProducer : public Component
+{
+  public:
+    BackpressuredProducer(TimedQueue<int>& q, int count)
+        : Component("producer"), q_(q), remaining_(count)
+    {
+    }
+    void
+    tick() override
+    {
+        ++ticks;
+        if (remaining_ > 0 && q_.push(next_)) {
+            ++next_;
+            --remaining_;
+        }
+    }
+    Cycle
+    nextActivity() const override
+    {
+        return remaining_ > 0 && q_.canPush() ? 0 : kCycleNever;
+    }
+
+    std::uint64_t ticks = 0;
+
+  private:
+    TimedQueue<int>& q_;
+    int next_ = 1;
+    int remaining_;
+};
+
+TEST(EngineSkip, PopOfFullQueueWakesProducer)
+{
+    Engine eng;
+    TimedQueue<int> q(eng, 2, 1);
+    BackpressuredProducer producer(q, 5);
+    eng.add(&producer);
+    q.setProducer(&producer);
+
+    // Phase 1: nobody pops. The producer fills the queue in two ticks
+    // and then sleeps on the full queue.
+    eng.runUntil([] { return false; }, 10);
+    EXPECT_EQ(producer.ticks, 2u);
+    EXPECT_FALSE(q.canPush());
+
+    // Phase 2: the predicate pops one token per cycle. Every pop frees
+    // a slot of the full queue and must wake the producer, which
+    // pushes the next token the same cycle (exactly as the legacy
+    // engine, where it was ticked every cycle anyway).
+    std::vector<int> popped;
+    eng.runUntil(
+        [&] {
+            if (q.canPop())
+                popped.push_back(q.pop());
+            return popped.size() == 5u;
+        },
+        100);
+    EXPECT_EQ(popped, (std::vector<int>{1, 2, 3, 4, 5}));
+    // Ticks: one per remaining push (3, each unblocked by a pop), plus
+    // one wake from the last full-queue pop with nothing left to send.
+    EXPECT_EQ(producer.ticks, 6u);
+}
+
+// ---------------------------------------------------------------------
+// TimedQueue ring-buffer mechanics.
+// ---------------------------------------------------------------------
+
+TEST(TimedQueue, PeekReadyCycleTracksHeadToken)
+{
+    Engine eng;
+    TimedQueue<int> q(eng, 4, 2);
+    EXPECT_EQ(q.peekReadyCycle(), kCycleNever);
+    ASSERT_TRUE(q.push(1));
+    EXPECT_EQ(q.peekReadyCycle(), 2u);
+    eng.tick();
+    ASSERT_TRUE(q.push(2));
+    EXPECT_EQ(q.peekReadyCycle(), 2u);  // still the first token
+    eng.tick();
+    ASSERT_TRUE(q.canPop());
+    q.pop();
+    EXPECT_EQ(q.peekReadyCycle(), 3u);  // second token's arrival
+    eng.tick();
+    ASSERT_TRUE(q.canPop());
+    q.pop();
+    EXPECT_EQ(q.peekReadyCycle(), kCycleNever);
+}
+
+TEST(TimedQueue, RingWrapsManyTimesPreservingFifoOrder)
+{
+    Engine eng;
+    TimedQueue<int> q(eng, 3, 1);
+    // Head advances once per iteration: 100 laps through a 3-slot ring.
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(q.push(i));
+        eng.tick();
+        ASSERT_TRUE(q.canPop());
+        EXPECT_EQ(q.pop(), i);
+    }
+    EXPECT_TRUE(q.empty());
+    // And with the queue kept near capacity while cycling.
+    int pushed = 0, expected = 0;
+    for (; pushed < 3; ++pushed)
+        ASSERT_TRUE(q.push(pushed));
+    for (int i = 0; i < 50; ++i) {
+        eng.tick();
+        ASSERT_TRUE(q.canPop());
+        EXPECT_EQ(q.pop(), expected++);
+        ASSERT_TRUE(q.push(pushed++));
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end equivalence: idle-aware vs legacy full-tick.
+// ---------------------------------------------------------------------
+
+struct Snapshot
+{
+    RunResult result;
+    std::string stats;  //!< full registry dump + per-PE counters
+    Engine::Stats engine;
+};
+
+Snapshot
+runSnapshot(const CooGraph& g, const AlgoSpec& spec, AccelConfig cfg,
+            bool full_tick)
+{
+    cfg.full_tick_engine = full_tick;
+    PartitionedGraph pg(g, 256, 512);
+    Accelerator accel(cfg, pg, spec);
+    Snapshot s;
+    s.result = accel.run();
+
+    StatRegistry reg;
+    accel.moms().registerStats(reg);
+    for (std::uint32_t c = 0; c < accel.mem().numChannels(); ++c)
+        accel.mem().channel(c).registerStats(reg);
+    std::ostringstream ss;
+    reg.dump(ss);
+    for (const auto& pe : accel.pes()) {
+        const Pe::Stats& p = pe->stats();
+        ss << pe->name() << " = " << p.jobs << ' ' << p.edges_processed
+           << ' ' << p.local_src_reads << ' ' << p.moms_reads << ' '
+           << p.raw_stalls << ' ' << p.thread_stalls << ' '
+           << p.moms_send_stalls << ' ' << p.busy_cycles << ' '
+           << p.idle_cycles << '\n';
+    }
+    s.stats = ss.str();
+    s.engine = accel.engine().stats();
+    return s;
+}
+
+void
+expectExactMatch(const CooGraph& g, const AlgoSpec& spec,
+                 const AccelConfig& cfg)
+{
+    const Snapshot full = runSnapshot(g, spec, cfg, true);
+    const Snapshot idle = runSnapshot(g, spec, cfg, false);
+    EXPECT_EQ(full.result.cycles, idle.result.cycles);
+    EXPECT_EQ(full.result.iterations, idle.result.iterations);
+    EXPECT_EQ(full.result.edges_processed, idle.result.edges_processed);
+    EXPECT_EQ(full.result.dram_bytes_read, idle.result.dram_bytes_read);
+    EXPECT_EQ(full.result.dram_bytes_written,
+              idle.result.dram_bytes_written);
+    EXPECT_EQ(full.result.moms_requests, idle.result.moms_requests);
+    EXPECT_EQ(full.result.moms_secondary_misses,
+              idle.result.moms_secondary_misses);
+    EXPECT_EQ(full.result.moms_lines_from_mem,
+              idle.result.moms_lines_from_mem);
+    EXPECT_EQ(full.result.pe_raw_stalls, idle.result.pe_raw_stalls);
+    EXPECT_DOUBLE_EQ(full.result.moms_hit_rate,
+                     idle.result.moms_hit_rate);
+    EXPECT_EQ(full.result.raw_values, idle.result.raw_values);
+    EXPECT_EQ(full.stats, idle.stats);
+    // Same simulated time, and the legacy engine never skips.
+    EXPECT_EQ(full.engine.cycles, idle.engine.cycles);
+    EXPECT_EQ(full.engine.ticks_skipped, 0u);
+    // The idle-aware engine must actually have skipped work, or this
+    // test degenerates into comparing the same engine with itself.
+    EXPECT_GT(idle.engine.ticks_skipped, 0u);
+}
+
+AccelConfig
+smallConfig(MomsConfig moms)
+{
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.num_channels = 2;
+    cfg.moms = moms;
+    return cfg;
+}
+
+TEST(EngineEquivalence, SccTwoLevel)
+{
+    const CooGraph g = rmat(10, 6000, RmatParams{}, 42);
+    expectExactMatch(g, AlgoSpec::scc(g.numNodes(), 4),
+                     smallConfig(MomsConfig::twoLevel(4)));
+}
+
+TEST(EngineEquivalence, SssWeightedShared)
+{
+    CooGraph g = uniformRandom(800, 5000, 7);
+    addRandomWeights(g, 97);
+    expectExactMatch(g, AlgoSpec::sssp(0, 4),
+                     smallConfig(MomsConfig::shared(4)));
+}
+
+TEST(EngineEquivalence, PageRankPrivateOnly)
+{
+    const CooGraph g = uniformRandom(600, 4000, 5);
+    expectExactMatch(g, AlgoSpec::pageRank(g, 2),
+                     smallConfig(MomsConfig::privateOnly()));
+}
+
+TEST(EngineEquivalence, SccTraditionalTwoLevel)
+{
+    const CooGraph g = rmat(10, 5000, RmatParams{}, 11);
+    expectExactMatch(g, AlgoSpec::scc(g.numNodes(), 3),
+                     smallConfig(MomsConfig::traditionalTwoLevel(4)));
+}
+
+TEST(EngineEquivalence, SccDynaburstHighCrossingLatency)
+{
+    // The latency-bound corner the time-skip targets: long die-crossing
+    // links and DynaBurst merging windows.
+    const CooGraph g = rmat(10, 5000, RmatParams{}, 23);
+    MomsConfig moms = MomsConfig::twoLevel(4);
+    moms.dynaburst = true;
+    moms.crossing_latency = 16;
+    expectExactMatch(g, AlgoSpec::scc(g.numNodes(), 3),
+                     smallConfig(moms));
+}
+
+TEST(EngineEquivalence, FullTickEnvOverrideForcesLegacyMode)
+{
+    // AccelConfig::full_tick_engine reaches the engine; the GMOMS_FULL_TICK
+    // environment override takes the same path (Engine ctor), so a
+    // direct setter check keeps this test hermetic.
+    Engine eng;
+    EXPECT_FALSE(eng.fullTick());
+    eng.setFullTick(true);
+    EXPECT_TRUE(eng.fullTick());
+    BusyComponent busy;
+    BlockedComponent blocked;
+    eng.add(&busy);
+    eng.add(&blocked);
+    eng.runUntil([] { return false; }, 10);
+    // Full tick: even "blocked" components are ticked every cycle.
+    EXPECT_EQ(blocked.ticks, 10u);
+    EXPECT_EQ(eng.stats().ticks_skipped, 0u);
+}
+
+} // namespace
+} // namespace gmoms
