@@ -20,24 +20,34 @@ main()
 {
     std::printf("=== Ablation: SLR-crossing latency (SCC on UK "
                 "stand-in) ===\n\n");
-    CooGraph g = loadDataset("UK");
+
+    // One job per (crossing latency, MOMS-or-traditional) point.
+    struct Job
+    {
+        Cycle crossing;
+        bool traditional;
+    };
+    std::vector<Job> jobs;
+    for (Cycle crossing : {1u, 4u, 8u, 16u, 32u})
+        for (bool traditional : {false, true})
+            jobs.push_back({crossing, traditional});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [](const Job& j) {
+            AccelConfig cfg;
+            cfg.num_pes = 16;
+            cfg.num_channels = 4;
+            cfg.moms = j.traditional ? MomsConfig::traditionalTwoLevel(16)
+                                     : MomsConfig::twoLevel(16);
+            cfg.moms.crossing_latency = j.crossing;
+            return runOn(*loadDataset("UK"), "SCC", cfg);
+        });
 
     Table table({"crossing cycles", "MOMS GTEPS", "trad GTEPS",
                  "MOMS/trad"});
-    for (Cycle crossing : {1u, 4u, 8u, 16u, 32u}) {
-        AccelConfig moms;
-        moms.num_pes = 16;
-        moms.num_channels = 4;
-        moms.moms = MomsConfig::twoLevel(16);
-        moms.moms.crossing_latency = crossing;
-        RunOutcome m = runOn(g, "SCC", moms);
-
-        AccelConfig trad = moms;
-        trad.moms = MomsConfig::traditionalTwoLevel(16);
-        trad.moms.crossing_latency = crossing;
-        RunOutcome t = runOn(g, "SCC", trad);
-
-        table.addRow({std::to_string(crossing), fmt(m.gteps, 3),
+    for (std::size_t i = 0; i < jobs.size(); i += 2) {
+        const RunOutcome& m = outcomes[i];
+        const RunOutcome& t = outcomes[i + 1];
+        table.addRow({std::to_string(jobs[i].crossing), fmt(m.gteps, 3),
                       fmt(t.gteps, 3), fmt(m.gteps / t.gteps, 2) + "x"});
     }
     table.print();

@@ -23,24 +23,35 @@ main()
 
     Table table({"dataset", "plain GTEPS", "dynaburst GTEPS", "delta",
                  "DRAM reads plain", "DRAM reads dyna"});
-    for (const std::string& tag : benchDatasetTags()) {
-        CooGraph g = loadDataset(tag);
 
-        AccelConfig plain;
-        plain.num_pes = 16;
-        plain.num_channels = 4;
-        plain.moms = MomsConfig::twoLevel(16);
-        RunOutcome p = runOn(g, "SCC", plain);
+    // One job per (dataset, plain-or-dynaburst) point.
+    struct Job
+    {
+        std::string tag;
+        bool dynaburst;
+    };
+    std::vector<Job> jobs;
+    for (const std::string& tag : benchDatasetTags())
+        for (bool dynaburst : {false, true})
+            jobs.push_back({tag, dynaburst});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [](const Job& j) {
+            AccelConfig cfg;
+            cfg.num_pes = 16;
+            cfg.num_channels = 4;
+            cfg.moms = MomsConfig::twoLevel(16);
+            cfg.moms.dynaburst = j.dynaburst;
+            return runOn(*loadDataset(j.tag), "SCC", cfg);
+        });
 
-        AccelConfig dyna = plain;
-        dyna.moms.dynaburst = true;
-        RunOutcome d = runOn(g, "SCC", dyna);
-
+    for (std::size_t i = 0; i < jobs.size(); i += 2) {
+        const RunOutcome& p = outcomes[i];
+        const RunOutcome& d = outcomes[i + 1];
         std::uint64_t p_reads =
             p.result.dram_bytes_read / kLineBytes;
         std::uint64_t d_reads =
             d.result.dram_bytes_read / kLineBytes;
-        table.addRow({tag, fmt(p.gteps, 3), fmt(d.gteps, 3),
+        table.addRow({jobs[i].tag, fmt(p.gteps, 3), fmt(d.gteps, 3),
                       fmt(100.0 * (d.gteps / p.gteps - 1.0), 1) + "%",
                       std::to_string(p_reads),
                       std::to_string(d_reads)});

@@ -18,9 +18,15 @@ using namespace gmoms::bench;
 namespace
 {
 
+struct Sizing
+{
+    std::uint32_t mshrs;
+    std::uint32_t subentries;
+    std::uint32_t dram_queue;
+};
+
 RunOutcome
-runWith(const CooGraph& g, std::uint32_t mshrs,
-        std::uint32_t subentries, std::uint32_t dram_queue)
+runWith(const CooGraph& g, const Sizing& s)
 {
     AccelConfig cfg;
     cfg.num_pes = 16;
@@ -28,11 +34,11 @@ runWith(const CooGraph& g, std::uint32_t mshrs,
     cfg.moms = MomsConfig::twoLevel(16).withoutCacheArrays();
     for (MomsBankConfig* b :
          {&cfg.moms.shared_bank, &cfg.moms.private_bank}) {
-        b->num_mshrs = mshrs;
-        b->num_subentries = subentries;
+        b->num_mshrs = s.mshrs;
+        b->num_subentries = s.subentries;
     }
-    cfg.dram.port_queue_depth = dram_queue;
-    cfg.dram.resp_queue_depth = dram_queue;
+    cfg.dram.port_queue_depth = s.dram_queue;
+    cfg.dram.resp_queue_depth = s.dram_queue;
     return runOn(g, "SCC", cfg);
 }
 
@@ -43,14 +49,33 @@ main()
 {
     std::printf("=== Ablation: MOMS structure sizing (SCC on RMAT-24 "
                 "stand-in, cache-less two-level 16/16) ===\n\n");
-    CooGraph g = loadDataset("24");
+
+    // All three sizing axes form one flat job list, fanned across the
+    // worker pool; the tables below consume the results in order.
+    const std::vector<std::uint32_t> mshr_axis = {16u, 64u, 256u,
+                                                  1024u, 4096u};
+    const std::vector<std::uint32_t> sub_axis = {128u, 1024u, 8192u,
+                                                 32768u};
+    const std::vector<std::uint32_t> queue_axis = {4u, 16u, 64u, 256u};
+    std::vector<Sizing> jobs;
+    for (std::uint32_t m : mshr_axis)
+        jobs.push_back({m, 8192, 64});
+    for (std::uint32_t s : sub_axis)
+        jobs.push_back({1024, s, 64});
+    for (std::uint32_t q : queue_axis)
+        jobs.push_back({1024, 8192, q});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [](const Sizing& s) {
+            return runWith(*loadDataset("24"), s);
+        });
+    std::size_t next = 0;
 
     std::printf("-- MSHRs per bank (subentries 8192, DRAM queues 64) "
                 "--\n");
     Table mshr_table({"MSHRs/bank", "GTEPS", "merge%", "lines from "
                                                        "DRAM"});
-    for (std::uint32_t m : {16u, 64u, 256u, 1024u, 4096u}) {
-        RunOutcome out = runWith(g, m, 8192, 64);
+    for (std::uint32_t m : mshr_axis) {
+        const RunOutcome& out = outcomes[next++];
         mshr_table.addRow(
             {std::to_string(m), fmt(out.gteps, 3),
              fmt(100.0 * out.result.moms_secondary_misses /
@@ -64,8 +89,8 @@ main()
     std::printf("\n-- subentries per bank (MSHRs 1024, DRAM queues 64) "
                 "--\n");
     Table sub_table({"subentries/bank", "GTEPS", "merge%"});
-    for (std::uint32_t s : {128u, 1024u, 8192u, 32768u}) {
-        RunOutcome out = runWith(g, 1024, s, 64);
+    for (std::uint32_t s : sub_axis) {
+        const RunOutcome& out = outcomes[next++];
         sub_table.addRow(
             {std::to_string(s), fmt(out.gteps, 3),
              fmt(100.0 * out.result.moms_secondary_misses /
@@ -78,8 +103,8 @@ main()
     std::printf("\n-- DRAM-side queue depth (MSHRs 1024, subentries "
                 "8192) --\n");
     Table q_table({"queue depth", "GTEPS", "merge%"});
-    for (std::uint32_t q : {4u, 16u, 64u, 256u}) {
-        RunOutcome out = runWith(g, 1024, 8192, q);
+    for (std::uint32_t q : queue_axis) {
+        const RunOutcome& out = outcomes[next++];
         q_table.addRow(
             {std::to_string(q), fmt(out.gteps, 3),
              fmt(100.0 * out.result.moms_secondary_misses /

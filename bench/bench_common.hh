@@ -18,8 +18,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/accel/accelerator.hh"
@@ -28,6 +35,7 @@
 #include "src/graph/datasets.hh"
 #include "src/graph/generator.hh"
 #include "src/graph/reorder.hh"
+#include "src/sim/parallel.hh"
 #include "src/sim/report.hh"
 
 namespace gmoms::bench
@@ -87,29 +95,58 @@ convergenceCap()
     return 4;
 }
 
-/** Build a dataset stand-in with the paper-default preprocessing.
- *  Results are memoized per (tag, prep) within the bench process. */
-inline CooGraph
+/** Immutable, shareable dataset handle (one build per process, all
+ *  sweep workers reference the same graph). */
+using DatasetPtr = std::shared_ptr<const CooGraph>;
+
+/**
+ * Build a dataset stand-in with the paper-default preprocessing.
+ * Results are memoized per (tag, prep, nd) within the bench process
+ * and returned by shared pointer, so parallel sweep workers neither
+ * copy multi-MB graphs per run nor duplicate preprocessing: the first
+ * caller of a key builds, every concurrent caller of the same key
+ * waits on that one build (per-key once population).
+ */
+inline DatasetPtr
 loadDataset(const std::string& tag,
             Preprocessing prep = Preprocessing::DbgHash,
             std::uint32_t nd_hint = 0)
 {
-    static std::map<std::pair<std::string, int>, CooGraph> cache;
-    const auto key = std::make_pair(tag, static_cast<int>(prep));
-    if (nd_hint == 0) {
-        if (auto it = cache.find(key); it != cache.end())
-            return it->second;
+    using Key = std::tuple<std::string, int, std::uint32_t>;
+    static std::mutex mu;
+    static std::map<Key, std::shared_future<DatasetPtr>> cache;
+
+    const Key key{tag, static_cast<int>(prep), nd_hint};
+    std::promise<DatasetPtr> build;
+    std::shared_future<DatasetPtr> ready;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto [it, inserted] = cache.try_emplace(key);
+        if (inserted) {
+            it->second = build.get_future().share();
+            builder = true;
+        }
+        ready = it->second;
     }
-    const DatasetProfile& profile = datasetByTag(tag);
-    CooGraph g = buildDataset(profile);
-    const std::uint32_t nd =
-        nd_hint ? nd_hint
-                : defaultIntervalsFor(g.numNodes(), g.numEdges()).first;
-    CooGraph out = applyPreprocessing(g, prep, nd);
-    out.name = tag;
-    if (nd_hint == 0)
-        cache.emplace(key, out);
-    return out;
+    if (builder) {
+        try {
+            const DatasetProfile& profile = datasetByTag(tag);
+            CooGraph g = buildDataset(profile);
+            const std::uint32_t nd =
+                nd_hint ? nd_hint
+                        : defaultIntervalsFor(g.numNodes(),
+                                              g.numEdges())
+                              .first;
+            CooGraph out = applyPreprocessing(g, prep, nd);
+            out.name = tag;
+            build.set_value(
+                std::make_shared<const CooGraph>(std::move(out)));
+        } catch (...) {
+            build.set_exception(std::current_exception());
+        }
+    }
+    return ready.get();
 }
 
 /** Algorithm factory by name for the three paper kernels. */
@@ -154,6 +191,7 @@ class EngineBenchRecorder
     void
     add(const Engine::Stats& stats, double wall_seconds, bool full_tick)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         Bucket& b = full_tick ? full_ : idle_;
         ++b.runs;
         b.stats.cycles += stats.cycles;
@@ -219,22 +257,30 @@ class EngineBenchRecorder
                      : 0.0);
     }
 
+    std::mutex mu_;  //!< add() is called from sweep workers
     Bucket idle_;
     Bucket full_;
 };
 
-/** Run @p cfg on @p g; weights are added when the spec needs them. */
+/** Run @p cfg on @p g; weights are added (to a local copy — @p g is
+ *  shared between sweep workers) when the spec needs them. */
 inline RunOutcome
-runOn(CooGraph g, const std::string& algo, AccelConfig cfg)
+runOn(const CooGraph& g, const std::string& algo, AccelConfig cfg)
 {
-    AlgoSpec probe = makeSpec(algo, g);
-    if (probe.weighted && !g.weighted())
-        addRandomWeights(g, 97);
-    const AlgoSpec spec = makeSpec(algo, g);
-    auto [nd, ns] = defaultIntervalsFor(g.numNodes(), g.numEdges());
+    const AlgoSpec probe = makeSpec(algo, g);
+    CooGraph weighted_copy;
+    const CooGraph* graph = &g;
+    if (probe.weighted && !g.weighted()) {
+        weighted_copy = g;
+        addRandomWeights(weighted_copy, 97);
+        graph = &weighted_copy;
+    }
+    const AlgoSpec spec = makeSpec(algo, *graph);
+    auto [nd, ns] =
+        defaultIntervalsFor(graph->numNodes(), graph->numEdges());
     cfg.nd = nd;
     cfg.ns = ns;
-    PartitionedGraph pg(g, nd, ns);
+    PartitionedGraph pg(*graph, nd, ns);
     Accelerator accel(cfg, pg, spec);
     RunOutcome out;
     WallTimer timer;
@@ -246,6 +292,32 @@ runOn(CooGraph g, const std::string& algo, AccelConfig cfg)
     EngineBenchRecorder::instance().add(out.engine, out.wall_seconds,
                                         accel.engine().fullTick());
     return out;
+}
+
+/**
+ * Fan @p fn over @p jobs on a worker pool and return the results in
+ * input order. Each job must be independent (the simulator core is
+ * re-entrant: every runOn() builds its own Engine/Accelerator, see
+ * docs/MODEL.md). Results are reassembled by index, so the output —
+ * and anything printed from it afterwards — is byte-identical to the
+ * serial loop `for (job : jobs) results.push_back(fn(job))` regardless
+ * of worker count. @p pool defaults to the shared GMOMS_JOBS-sized
+ * pool; pass an explicit pool to control the worker count (tests).
+ */
+template <typename JobT, typename Fn>
+auto
+sweep(const std::vector<JobT>& jobs, Fn fn, ThreadPool* pool = nullptr)
+    -> std::vector<std::decay_t<decltype(fn(jobs.front()))>>
+{
+    using Result = std::decay_t<decltype(fn(jobs.front()))>;
+    std::vector<Result> results(jobs.size());
+    std::vector<ThreadPool::Job> tasks;
+    tasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        tasks.push_back(
+            [&, i] { results[i] = fn(jobs[i]); });
+    (pool ? *pool : ThreadPool::shared()).runAll(std::move(tasks));
+    return results;
 }
 
 /** Geometric mean of positive values. */

@@ -79,7 +79,7 @@ main()
                  "skip %", "speedup"});
     bool exact = true;
     for (const Workload& w : workloads) {
-        CooGraph g = loadDataset(w.dataset);
+        const CooGraph& g = *loadDataset(w.dataset);
 
         AccelConfig full = w.config;
         full.full_tick_engine = true;
@@ -87,7 +87,7 @@ main()
 
         AccelConfig idle = w.config;
         idle.full_tick_engine = false;
-        RunOutcome i = runOn(std::move(g), w.algo, idle);
+        RunOutcome i = runOn(g, w.algo, idle);
 
         if (f.result.cycles != i.result.cycles ||
             f.result.raw_values != i.result.raw_values) {

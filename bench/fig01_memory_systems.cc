@@ -28,8 +28,11 @@ main()
     Table table({"dataset", "ideal", "traditional", "scratchpad",
                  "MOMS", "trad x", "tiles x", "MOMS x"});
 
-    for (const std::string& tag : benchDatasetTags()) {
-        CooGraph g = loadDataset(tag);
+    // Each dataset's traffic measurements are independent; fan them
+    // across the worker pool and add rows in dataset order.
+    const std::vector<std::string> tags = benchDatasetTags();
+    auto rows = sweep(tags, [](const std::string& tag) {
+        const CooGraph& g = *loadDataset(tag);
         auto [nd, ns] = defaultIntervalsFor(g.numNodes(), g.numEdges());
         PartitionedGraph pg(g, nd, ns);
 
@@ -59,10 +62,13 @@ main()
         auto x = [&](std::uint64_t v) {
             return fmt(static_cast<double>(v) / ideal, 2) + "x";
         };
-        table.addRow({tag, std::to_string(ideal), std::to_string(trad),
-                      std::to_string(tiles), std::to_string(moms),
-                      x(trad), x(tiles), x(moms)});
-    }
+        return std::vector<std::string>{
+            tag, std::to_string(ideal), std::to_string(trad),
+            std::to_string(tiles), std::to_string(moms), x(trad),
+            x(tiles), x(moms)};
+    });
+    for (auto& row : rows)
+        table.addRow(std::move(row));
     table.print();
     std::printf("\nExpected shape (Fig. 1): tiles >> traditional > MOMS "
                 ">= ideal.\n");

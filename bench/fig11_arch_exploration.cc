@@ -29,6 +29,26 @@ main()
     std::printf("datasets: scaled Table II stand-ins; "
                 "set GMOMS_FULL_DATASETS=1 for all 12\n\n");
 
+    // One job per (algo, preset, dataset) point, fanned across the
+    // worker pool; rows are assembled from the ordered results below.
+    struct Job
+    {
+        std::size_t algo;
+        std::size_t preset;
+        std::string tag;
+    };
+    std::vector<Job> jobs;
+    for (std::size_t a = 0; a < algos.size(); ++a)
+        for (std::size_t p = 0; p < presets.size(); ++p)
+            for (const std::string& tag : tags)
+                jobs.push_back({a, p, tag});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [&](const Job& j) {
+            return runOn(*loadDataset(j.tag), algos[j.algo],
+                         presets[j.preset].config);
+        });
+
+    std::size_t next = 0;
     for (const std::string& algo : algos) {
         std::printf("--- %s ---\n", algo.c_str());
         std::vector<std::string> header = {"architecture"};
@@ -42,10 +62,8 @@ main()
             std::vector<std::string> row = {preset.name};
             std::vector<double> gteps;
             double fmax = 0;
-            for (const std::string& tag : tags) {
-                CooGraph g = loadDataset(tag);
-                RunOutcome out = runOn(std::move(g), algo,
-                                       preset.config);
+            for (std::size_t t = 0; t < tags.size(); ++t) {
+                const RunOutcome& out = outcomes[next++];
                 fmax = out.freq_mhz;
                 gteps.push_back(out.gteps);
                 row.push_back(fmt(out.gteps, 3));

@@ -29,14 +29,26 @@ main()
     }
 
     Table table({"architecture", "dataset", "hit_rate", "GTEPS"});
-    for (const ArchPreset& preset : presets) {
-        for (const std::string& tag : benchDatasetTags()) {
-            CooGraph g = loadDataset(tag);
-            RunOutcome out = runOn(std::move(g), "SCC", preset.config);
-            table.addRow({preset.name, tag,
-                          fmt(out.result.moms_hit_rate * 100, 1) + "%",
-                          fmt(out.gteps, 3)});
-        }
+    // One job per (preset, dataset) point, fanned across the pool.
+    struct Job
+    {
+        std::size_t preset;
+        std::string tag;
+    };
+    std::vector<Job> jobs;
+    for (std::size_t p = 0; p < presets.size(); ++p)
+        for (const std::string& tag : benchDatasetTags())
+            jobs.push_back({p, tag});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [&](const Job& j) {
+            return runOn(*loadDataset(j.tag), "SCC",
+                         presets[j.preset].config);
+        });
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const RunOutcome& out = outcomes[i];
+        table.addRow({presets[jobs[i].preset].name, jobs[i].tag,
+                      fmt(out.result.moms_hit_rate * 100, 1) + "%",
+                      fmt(out.gteps, 3)});
     }
     table.print();
     std::printf("\nExpected shape (Fig. 12): 'trad ... nocache' rows "

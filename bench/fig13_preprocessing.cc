@@ -35,13 +35,29 @@ main()
     header.push_back("best");
     Table table(header);
 
+    // One job per (dataset, preprocessing) point, fanned across the
+    // pool; each worker builds its own preprocessed dataset variant.
+    struct Job
+    {
+        std::string tag;
+        Preprocessing prep;
+    };
+    std::vector<Job> jobs;
+    for (const std::string& tag : benchDatasetTags())
+        for (Preprocessing p : preps)
+            jobs.push_back({tag, p});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [&](const Job& j) {
+            return runOn(*loadDataset(j.tag, j.prep), "PageRank", cfg);
+        });
+
+    std::size_t next = 0;
     for (const std::string& tag : benchDatasetTags()) {
         std::vector<std::string> row = {tag};
         double best = 0;
         std::string best_name;
         for (Preprocessing p : preps) {
-            CooGraph g = loadDataset(tag, p);
-            RunOutcome out = runOn(std::move(g), "PageRank", cfg);
+            const RunOutcome& out = outcomes[next++];
             row.push_back(fmt(out.gteps, 3));
             if (out.gteps > best) {
                 best = out.gteps;

@@ -23,10 +23,32 @@ main()
     std::printf("=== Fig. 14: throughput vs number of DDR4 channels "
                 "(two-level 16/16 MOMS) ===\n\n");
     const std::vector<std::uint32_t> channels = {1, 2, 4};
+    const std::vector<std::string> algos = {"PageRank", "SCC", "SSSP"};
 
-    for (const std::string& algo :
-         {std::string("PageRank"), std::string("SCC"),
-          std::string("SSSP")}) {
+    // One job per (algo, dataset, channel-count) point, fanned across
+    // the worker pool; rows are assembled from the ordered results.
+    struct Job
+    {
+        std::string algo;
+        std::string tag;
+        std::uint32_t channels;
+    };
+    std::vector<Job> jobs;
+    for (const std::string& algo : algos)
+        for (const std::string& tag : benchDatasetTags())
+            for (std::uint32_t c : channels)
+                jobs.push_back({algo, tag, c});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [](const Job& j) {
+            AccelConfig cfg;
+            cfg.num_pes = 16;
+            cfg.num_channels = j.channels;
+            cfg.moms = MomsConfig::twoLevel(16);
+            return runOn(*loadDataset(j.tag), j.algo, cfg);
+        });
+
+    std::size_t next = 0;
+    for (const std::string& algo : algos) {
         std::printf("--- %s (GTEPS) ---\n", algo.c_str());
         std::vector<std::string> header = {"dataset"};
         for (std::uint32_t c : channels)
@@ -38,12 +60,7 @@ main()
             std::vector<std::string> row = {tag};
             double first = 0, last = 0;
             for (std::uint32_t c : channels) {
-                AccelConfig cfg;
-                cfg.num_pes = 16;
-                cfg.num_channels = c;
-                cfg.moms = MomsConfig::twoLevel(16);
-                CooGraph g = loadDataset(tag);
-                RunOutcome out = runOn(std::move(g), algo, cfg);
+                const RunOutcome& out = outcomes[next++];
                 if (c == channels.front())
                     first = out.gteps;
                 last = out.gteps;
@@ -60,7 +77,7 @@ main()
                 "optimistic per the paper) ---\n");
     Table fg({"dataset", "1ch", "2ch", "4ch", "bound@4ch"});
     for (const std::string& tag : benchDatasetTags()) {
-        CooGraph g = loadDataset(tag);
+        const CooGraph& g = *loadDataset(tag);
         std::vector<std::string> row = {tag};
         FabGraphResult last{};
         for (std::uint32_t c : channels) {

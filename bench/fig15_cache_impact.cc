@@ -55,6 +55,26 @@ main()
         {"cache-less", false, false},
     };
 
+    // One job per (traditional?, variant, dataset) point, fanned
+    // across the worker pool; rows assemble from the ordered results.
+    struct Job
+    {
+        bool traditional;
+        std::size_t variant;
+        std::string tag;
+    };
+    std::vector<Job> jobs;
+    for (bool traditional : {false, true})
+        for (std::size_t v = 0; v < variants.size(); ++v)
+            for (const std::string& tag : benchDatasetTags())
+                jobs.push_back({traditional, v, tag});
+    const std::vector<RunOutcome> outcomes =
+        sweep(jobs, [&](const Job& j) {
+            return runOn(*loadDataset(j.tag), "SCC",
+                         makeConfig(j.traditional, variants[j.variant]));
+        });
+
+    std::size_t next = 0;
     for (bool traditional : {false, true}) {
         std::printf("--- %s ---\n",
                     traditional ? "traditional 20/8" : "MOMS 20/8");
@@ -69,9 +89,8 @@ main()
             std::vector<std::string> row = {v.name};
             std::vector<double> gteps;
             for (const std::string& tag : benchDatasetTags()) {
-                CooGraph g = loadDataset(tag);
-                RunOutcome out = runOn(std::move(g), "SCC",
-                                       makeConfig(traditional, v));
+                (void)tag;
+                const RunOutcome& out = outcomes[next++];
                 gteps.push_back(out.gteps);
                 row.push_back(fmt(out.gteps, 3));
             }

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/accel/accelerator.hh"
 #include "src/accel/resource_model.hh"
@@ -21,6 +23,7 @@
 #include "src/graph/datasets.hh"
 #include "src/graph/generator.hh"
 #include "src/graph/reorder.hh"
+#include "src/sim/parallel.hh"
 #include "src/sim/report.hh"
 
 using namespace gmoms;
@@ -77,45 +80,69 @@ main(int argc, char** argv)
                     g.numNodes(),
                     static_cast<unsigned long long>(g.numEdges()));
 
+    // Run every design point on the worker pool (each builds its own
+    // Accelerator+Engine; the partitioned graph is shared read-only),
+    // buffering per-candidate output so it prints in candidate order.
+    struct Explored
+    {
+        double gteps = 0;
+        std::string line;
+    };
+    std::vector<Explored> results(std::size(candidates));
+    std::vector<ThreadPool::Job> tasks;
+    for (std::size_t i = 0; i < std::size(candidates); ++i)
+        tasks.push_back([&, i] {
+            const Candidate& cand = candidates[i];
+            AccelConfig cfg;
+            cfg.num_pes = cand.pes;
+            cfg.num_channels = 4;
+            cfg.moms = cand.moms;
+            cfg.nd = nd;
+            cfg.ns = ns;
+            Accelerator accel(cfg, pg, spec);
+            RunResult res = accel.run();
+            const double fmax = modelFrequencyMhz(cfg, spec);
+            const double gteps = res.gteps(fmax);
+            const double watts = modelPowerWatts(cfg, spec);
+            const ResourceBreakdown rb = estimateResources(cfg, spec);
+
+            results[i].gteps = gteps;
+            if (json) {
+                JsonReport report;
+                report.set("design", std::string(cand.name))
+                    .set("algo", algo)
+                    .set("dataset", tag)
+                    .set("gteps", gteps)
+                    .set("fmax_mhz", fmax)
+                    .set("power_w", watts)
+                    .set("lut_util", rb.lut_util)
+                    .set("cycles", res.cycles)
+                    .set("hit_rate", res.moms_hit_rate)
+                    .set("dram_bytes_read", res.dram_bytes_read)
+                    .set("discarded", fmax < kMinFrequencyMhz);
+                results[i].line = report.str() + "\n";
+            } else {
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "  %-20s %6.3f GTEPS  %3.0f MHz  %4.1f W"
+                              "  LUT %4.1f%%  %6.2f MTEPS/W\n",
+                              cand.name, gteps, fmax, watts,
+                              100 * rb.lut_util, 1000.0 * gteps / watts);
+                results[i].line = buf;
+            }
+        });
+    ThreadPool::shared().runAll(std::move(tasks));
+
     double best = 0;
     const char* best_name = "";
-    for (const Candidate& cand : candidates) {
-        AccelConfig cfg;
-        cfg.num_pes = cand.pes;
-        cfg.num_channels = 4;
-        cfg.moms = cand.moms;
-        cfg.nd = nd;
-        cfg.ns = ns;
-        Accelerator accel(cfg, pg, spec);
-        RunResult res = accel.run();
-        const double fmax = modelFrequencyMhz(cfg, spec);
-        const double gteps = res.gteps(fmax);
-        const double watts = modelPowerWatts(cfg, spec);
-        const ResourceBreakdown rb = estimateResources(cfg, spec);
-
-        if (json) {
-            JsonReport report;
-            report.set("design", std::string(cand.name))
-                .set("algo", algo)
-                .set("dataset", tag)
-                .set("gteps", gteps)
-                .set("fmax_mhz", fmax)
-                .set("power_w", watts)
-                .set("lut_util", rb.lut_util)
-                .set("cycles", res.cycles)
-                .set("hit_rate", res.moms_hit_rate)
-                .set("dram_bytes_read", res.dram_bytes_read)
-                .set("discarded", fmax < kMinFrequencyMhz);
-            std::cout << report.str() << "\n";
-        } else {
-            std::printf("  %-20s %6.3f GTEPS  %3.0f MHz  %4.1f W  "
-                        "LUT %4.1f%%  %6.2f MTEPS/W\n",
-                        cand.name, gteps, fmax, watts,
-                        100 * rb.lut_util, 1000.0 * gteps / watts);
-        }
-        if (gteps > best) {
-            best = gteps;
-            best_name = cand.name;
+    for (std::size_t i = 0; i < std::size(candidates); ++i) {
+        if (json)
+            std::cout << results[i].line;
+        else
+            std::fputs(results[i].line.c_str(), stdout);
+        if (results[i].gteps > best) {
+            best = results[i].gteps;
+            best_name = candidates[i].name;
         }
     }
     if (!json)

@@ -13,7 +13,7 @@ Pe::Pe(const Engine& engine, std::string name, std::uint32_t id,
        MemPort dma, SourcePort& moms, BackingStore& store)
     : Component(std::move(name)), engine_(engine), id_(id), cfg_(&cfg),
       spec_(&spec), sched_(&sched), dma_(dma), moms_(&moms),
-      store_(&store)
+      store_(&store), edge_pending_(cfg.max_edge_bursts)
 {
     bram_.resize(cfg.nd);
     vconst_tmp_.resize(cfg.nd);
@@ -157,11 +157,11 @@ Pe::drainDmaResponses()
             break;
           case DmaKind::Edge: {
             const std::uint64_t seq = resp->tag & 0xffffffffffffffull;
-            auto it = edge_pending_.find(seq);
-            if (it == edge_pending_.end())
+            EdgeSegment* seg = edge_pending_.find(seq);
+            if (seg == nullptr)
                 panic("edge burst response with unknown sequence");
-            decode_q_.push_back(it->second);
-            edge_pending_.erase(it);
+            decode_q_.push_back(*seg);
+            edge_pending_.erase(seq);
             --edge_bursts_inflight_;
             break;
           }
@@ -329,7 +329,7 @@ Pe::tickStream()
                               dmaTag(DmaKind::Edge, edge_burst_seq_),
                               false}))
             break;
-        edge_pending_.emplace(
+        edge_pending_.tryEmplace(
             edge_burst_seq_,
             EdgeSegment{sc.addr, static_cast<std::uint32_t>(chunk / 4),
                         0, sc.s});

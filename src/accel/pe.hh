@@ -22,9 +22,7 @@
 #define GMOMS_ACCEL_PE_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/accel/accel_config.hh"
@@ -33,6 +31,8 @@
 #include "src/cache/moms_system.hh"
 #include "src/mem/memory_system.hh"
 #include "src/sim/engine.hh"
+#include "src/sim/flat_map.hh"
+#include "src/sim/ring_deque.hh"
 
 namespace gmoms
 {
@@ -161,12 +161,15 @@ class Pe : public Component
     std::uint64_t init_nodes_consumed_ = 0;
     bool init_burst_outstanding_ = false;
 
-    // Edge streaming.
-    std::deque<ShardCursor> shards_;
+    // Edge streaming. edge_pending_ holds at most max_edge_bursts
+    // entries (one per in-flight burst), so the flat map never grows
+    // after construction; the rings stop allocating once their
+    // high-water mark has been reached.
+    RingDeque<ShardCursor> shards_;
     std::uint32_t edge_bursts_inflight_ = 0;
     std::uint64_t edge_burst_seq_ = 0;
-    std::unordered_map<std::uint64_t, EdgeSegment> edge_pending_;
-    std::deque<EdgeSegment> decode_q_;
+    FlatMap<std::uint64_t, EdgeSegment> edge_pending_;
+    RingDeque<EdgeSegment> decode_q_;
 
     // Thread bookkeeping (Fig. 10): weighted graphs use a free-ID queue
     // plus state memory; unweighted graphs use the destination offset

@@ -11,7 +11,7 @@ BurstAssembler::BurstAssembler(const Engine& engine, std::string name,
                                const BurstAssemblerConfig& cfg,
                                MemPort port)
     : Component(std::move(name)), engine_(engine), cfg_(cfg),
-      port_(port)
+      port_(port), open_(cfg.max_open_windows)
 {
     if (cfg.window_lines == 0 || cfg.window_lines > 32 ||
         !isPow2(cfg.window_lines))
@@ -31,20 +31,22 @@ BurstAssembler::nextActivity() const
     // An in-flight burst response bounds the next tick (the port hook
     // only covers pushes that land while we are asleep).
     Cycle next = port_.responseReadyCycle();
-    for (const auto& [base, window] : open_) {
+    bool flushable = false;
+    open_.forEach([&](Addr, const Window& window) {
         const bool full = std::popcount(window.mask) >=
                           static_cast<int>(cfg_.window_lines);
         if (full || now - window.opened >= cfg_.wait_cycles)
-            return 0;  // flushable now (one burst per cycle)
-        next = std::min(next, window.opened + cfg_.wait_cycles);
-    }
-    return next;
+            flushable = true;  // flushable now (one burst per cycle)
+        else
+            next = std::min(next, window.opened + cfg_.wait_cycles);
+    });
+    return flushable ? 0 : next;
 }
 
 bool
 BurstAssembler::canSend(Addr line) const
 {
-    return open_.count(windowBase(line)) ||
+    return open_.contains(windowBase(line)) ||
            open_.size() < cfg_.max_open_windows;
 }
 
@@ -55,9 +57,9 @@ BurstAssembler::send(Addr line)
     const Addr base = windowBase(line);
     const std::uint32_t idx =
         static_cast<std::uint32_t>((line - base) / kLineBytes);
-    auto [it, inserted] = open_.try_emplace(
-        base, Window{0, engine_.now()});
-    it->second.mask |= std::uint64_t{1} << idx;
+    Window* window =
+        open_.tryEmplace(base, Window{0, engine_.now()}).first;
+    window->mask |= std::uint64_t{1} << idx;
     // Called from the bank's tick: re-evaluate our calendar entry (the
     // window may now be full, or a new expiry timer just started).
     requestSelfWake(engine_.now());
@@ -83,7 +85,7 @@ BurstAssembler::flush(Addr base, const Window& window)
         static_cast<std::uint32_t>(last - first + 1) * kLineBytes;
     if (!port_.send(MemReq{addr, bytes, next_tag_, false}))
         return false;
-    in_flight_.emplace(next_tag_, std::make_pair(base, window.mask));
+    in_flight_.tryEmplace(next_tag_, std::make_pair(base, window.mask));
     ++next_tag_;
     ++stats_.bursts;
     stats_.lines_fetched += static_cast<std::uint64_t>(last - first + 1);
@@ -96,15 +98,15 @@ BurstAssembler::tick()
     // Complete bursts: fan every *requested* line out to the bank.
     bool delivered = false;
     while (auto resp = port_.receive()) {
-        auto it = in_flight_.find(resp->tag);
-        if (it == in_flight_.end())
+        const auto* entry = in_flight_.find(resp->tag);
+        if (entry == nullptr)
             panic("burst response with unknown tag");
-        const auto [base, mask] = it->second;
+        const auto [base, mask] = *entry;
         for (std::uint32_t i = 0; i < 64; ++i)
             if (mask & (std::uint64_t{1} << i))
                 ready_.push_back(base +
                                  static_cast<Addr>(i) * kLineBytes);
-        in_flight_.erase(it);
+        in_flight_.erase(resp->tag);
         delivered = true;
     }
     // The bank ticks after us (it is registered later): same-cycle
@@ -112,21 +114,30 @@ BurstAssembler::tick()
     if (delivered)
         Engine::wake(upstream_, engine_.now());
 
-    // Flush full or expired windows (one burst per cycle).
-    for (auto it = open_.begin(); it != open_.end(); ++it) {
-        const bool full =
-            std::popcount(it->second.mask) >=
-            static_cast<int>(cfg_.window_lines);
+    // Flush one full or expired window per cycle. Selection is
+    // oldest-first (tie: lowest base), which is deterministic across
+    // standard libraries — unordered_map iteration order was not.
+    const Window* best = nullptr;
+    Addr best_base = 0;
+    open_.forEach([&](Addr base, const Window& window) {
+        const bool full = std::popcount(window.mask) >=
+                          static_cast<int>(cfg_.window_lines);
         const bool expired =
-            engine_.now() - it->second.opened >= cfg_.wait_cycles;
+            engine_.now() - window.opened >= cfg_.wait_cycles;
         if (!full && !expired)
-            continue;
-        if (flush(it->first, it->second)) {
-            if (expired && !full)
-                ++stats_.timeouts;
-            open_.erase(it);
+            return;
+        if (best == nullptr || window.opened < best->opened ||
+            (window.opened == best->opened && base < best_base)) {
+            best = &window;
+            best_base = base;
         }
-        break;  // at most one burst issued per cycle
+    });
+    if (best != nullptr && flush(best_base, *best)) {
+        const bool full = std::popcount(best->mask) >=
+                          static_cast<int>(cfg_.window_lines);
+        if (!full)
+            ++stats_.timeouts;
+        open_.erase(best_base);
     }
 }
 

@@ -17,12 +17,12 @@
 #define GMOMS_CACHE_BURST_ASSEMBLER_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
 #include "src/cache/moms_bank.hh"
 #include "src/mem/memory_system.hh"
 #include "src/sim/engine.hh"
+#include "src/sim/flat_map.hh"
+#include "src/sim/ring_deque.hh"
 
 namespace gmoms
 {
@@ -98,12 +98,12 @@ class BurstAssembler : public Component, public LineDownstream
     BurstAssemblerConfig cfg_;
     MemPort port_;
     Component* upstream_ = nullptr;  //!< bank to wake on line delivery
-    std::unordered_map<Addr, Window> open_;
+    /** Open windows, at most max_open_windows (canSend() contract). */
+    FlatMap<Addr, Window> open_;
     /** Requested-line masks of bursts in flight, keyed by burst tag. */
-    std::unordered_map<std::uint64_t, std::pair<Addr, std::uint64_t>>
-        in_flight_;
+    FlatMap<std::uint64_t, std::pair<Addr, std::uint64_t>> in_flight_;
     std::uint64_t next_tag_ = 0;
-    std::deque<Addr> ready_;  //!< completed lines awaiting the bank
+    RingDeque<Addr> ready_;  //!< completed lines awaiting the bank
     Stats stats_;
 };
 

@@ -22,7 +22,6 @@
 #define GMOMS_CACHE_MOMS_BANK_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -32,6 +31,7 @@
 #include "src/cache/mshr.hh"
 #include "src/cache/subentry_store.hh"
 #include "src/sim/engine.hh"
+#include "src/sim/ring_deque.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/timed_queue.hh"
 
@@ -163,7 +163,7 @@ class MomsBank : public Component
 
     std::optional<ReadReq> retry_;      //!< stalled request register
     /** Lines whose subentry list awaits draining (line, head index). */
-    std::deque<std::pair<Addr, std::uint32_t>> drain_pending_;
+    RingDeque<std::pair<Addr, std::uint32_t>> drain_pending_;
     Addr drain_line_ = 0;               //!< line being drained
     std::uint32_t drain_cursor_ = kNoSubentry;
     bool resp_port_used_ = false;       //!< drain claimed the output

@@ -14,13 +14,13 @@
 #define GMOMS_MEM_DRAM_CHANNEL_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "src/mem/dram_config.hh"
 #include "src/mem/mem_types.hh"
 #include "src/sim/engine.hh"
+#include "src/sim/ring_deque.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/timed_queue.hh"
 
@@ -96,7 +96,7 @@ class DramChannel : public Component
     std::vector<std::unique_ptr<TimedQueue<MemReq>>> req_ports_;
     std::vector<std::unique_ptr<TimedQueue<MemResp>>> resp_ports_;
     std::vector<std::uint64_t> open_row_;   //!< open row per bank
-    std::deque<InFlight> in_flight_;        //!< completions in order
+    RingDeque<InFlight> in_flight_;         //!< completions in order
     Cycle bus_free_at_ = 0;
     std::uint32_t next_port_ = 0;           //!< round-robin pointer
     Stats stats_;

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Open-addressing flat hash map for simulator hot paths.
+ *
+ * A drop-in replacement for the `std::unordered_map`s that used to sit
+ * on per-cycle paths (PE edge-burst tracking, DynaBurst windows and
+ * in-flight bursts). Those maps are capacity-limited by construction
+ * (in-flight bursts, open windows), so a preallocated flat array with
+ * linear probing serves every find/insert/erase without touching the
+ * allocator in steady state — node-based unordered_map allocates on
+ * every insert.
+ *
+ * Properties:
+ *  - integral keys only, hashed with the splitmix64 finalizer;
+ *  - power-of-two slot count, linear probing, backward-shift deletion
+ *    (no tombstones, so probe chains never degrade);
+ *  - grows by doubling when load exceeds ~0.7 (steady state: no
+ *    allocation once the in-flight window has been seen once);
+ *  - iteration (forEach) visits occupied slots in slot order, which is
+ *    a deterministic function of the insert/erase history — unlike
+ *    unordered_map, whose order is implementation-defined.
+ */
+
+#ifndef GMOMS_SIM_FLAT_MAP_HH
+#define GMOMS_SIM_FLAT_MAP_HH
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gmoms
+{
+
+template <typename K, typename V>
+class FlatMap
+{
+    static_assert(std::is_integral_v<K>,
+                  "FlatMap keys must be integral (addresses, tags)");
+
+  public:
+    /** @param expected Sizing hint: capacity the map should hold
+     *  without rehashing. */
+    explicit FlatMap(std::size_t expected = 8)
+    {
+        rehash(slotsFor(expected));
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    /** Entries the map holds before the next growth. */
+    std::size_t capacity() const { return max_load_; }
+
+    V*
+    find(K key)
+    {
+        const std::size_t slot = findSlot(key);
+        return slot != kNoSlot ? &slots_[slot].value : nullptr;
+    }
+
+    const V*
+    find(K key) const
+    {
+        const std::size_t slot = findSlot(key);
+        return slot != kNoSlot ? &slots_[slot].value : nullptr;
+    }
+
+    bool contains(K key) const { return findSlot(key) != kNoSlot; }
+
+    /**
+     * Insert (key, value-from-args) if absent.
+     * @return {pointer to the value, whether it was inserted}.
+     */
+    template <typename... Args>
+    std::pair<V*, bool>
+    tryEmplace(K key, Args&&... args)
+    {
+        if (std::size_t slot = findSlot(key); slot != kNoSlot)
+            return {&slots_[slot].value, false};
+        if (size_ + 1 > max_load_)
+            rehash(slots_.size() * 2);
+        std::size_t slot = home(key);
+        while (slots_[slot].used)
+            slot = next(slot);
+        slots_[slot].used = true;
+        slots_[slot].key = key;
+        slots_[slot].value = V(std::forward<Args>(args)...);
+        ++size_;
+        return {&slots_[slot].value, true};
+    }
+
+    V&
+    operator[](K key)
+    {
+        return *tryEmplace(key).first;
+    }
+
+    /** Remove @p key; @return whether it was present. */
+    bool
+    erase(K key)
+    {
+        std::size_t slot = findSlot(key);
+        if (slot == kNoSlot)
+            return false;
+        // Backward-shift deletion: move up any later chain member that
+        // would become unreachable through the vacated slot.
+        std::size_t hole = slot;
+        std::size_t probe = next(hole);
+        while (slots_[probe].used) {
+            const std::size_t h = home(slots_[probe].key);
+            // Move probe into the hole unless its home lies strictly
+            // inside (hole, probe] — i.e. the wrapped distance from
+            // home to hole is no larger than from home to probe.
+            const std::size_t dist_hole = (hole - h) & mask_;
+            const std::size_t dist_probe = (probe - h) & mask_;
+            if (dist_hole <= dist_probe) {
+                slots_[hole] = std::move(slots_[probe]);
+                hole = probe;
+            }
+            probe = next(probe);
+        }
+        slots_[hole].used = false;
+        slots_[hole].value = V{};
+        --size_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (Slot& s : slots_)
+            s = Slot{};
+        size_ = 0;
+    }
+
+    /** Visit every (key, value) in slot order; @p fn may mutate the
+     *  value but must not insert or erase. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn)
+    {
+        for (Slot& s : slots_)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (const Slot& s : slots_)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+  private:
+    struct Slot
+    {
+        K key{};
+        V value{};
+        bool used = false;
+    };
+
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        // splitmix64 finalizer: full avalanche, identical everywhere.
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return x;
+    }
+
+    static std::size_t
+    slotsFor(std::size_t expected)
+    {
+        std::size_t slots = 8;
+        // Keep load at or below ~0.7 for the expected entry count.
+        while (slots * 7 / 10 < expected)
+            slots *= 2;
+        return slots;
+    }
+
+    std::size_t home(K key) const
+    {
+        return static_cast<std::size_t>(
+                   mix(static_cast<std::uint64_t>(key))) &
+               mask_;
+    }
+
+    std::size_t next(std::size_t slot) const
+    {
+        return (slot + 1) & mask_;
+    }
+
+    std::size_t
+    findSlot(K key) const
+    {
+        std::size_t slot = home(key);
+        while (slots_[slot].used) {
+            if (slots_[slot].key == key)
+                return slot;
+            slot = next(slot);
+        }
+        return kNoSlot;
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        assert((new_slots & (new_slots - 1)) == 0);
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_slots, Slot{});
+        mask_ = new_slots - 1;
+        max_load_ = new_slots * 7 / 10;
+        size_ = 0;
+        for (Slot& s : old)
+            if (s.used)
+                tryEmplace(s.key, std::move(s.value));
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t max_load_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_FLAT_MAP_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Growable ring-buffer FIFO for simulator hot paths.
+ *
+ * Replaces the `std::deque`s that sat on per-cycle paths (PE decode
+ * and shard queues, MOMS drain list, DRAM in-flight list): libstdc++'s
+ * deque allocates a block per ~512 B of payload, so steady-state
+ * push/pop churn hits the allocator continuously. A RingDeque is the
+ * TimedQueue storage scheme (contiguous ring, head index + size)
+ * without the timing semantics: FIFO push_back/pop_front, front/back
+ * access, and amortized growth by doubling — after the high-water mark
+ * has been seen once, no further allocation ever happens.
+ */
+
+#ifndef GMOMS_SIM_RING_DEQUE_HH
+#define GMOMS_SIM_RING_DEQUE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gmoms
+{
+
+template <typename T>
+class RingDeque
+{
+  public:
+    explicit RingDeque(std::size_t initial_capacity = 8)
+        : ring_(roundUpPow2(initial_capacity))
+    {
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return ring_.size(); }
+
+    T&
+    front()
+    {
+        assert(size_ != 0);
+        return ring_[head_];
+    }
+
+    const T&
+    front() const
+    {
+        assert(size_ != 0);
+        return ring_[head_];
+    }
+
+    T&
+    back()
+    {
+        assert(size_ != 0);
+        return ring_[wrap(head_ + size_ - 1)];
+    }
+
+    const T&
+    back() const
+    {
+        assert(size_ != 0);
+        return ring_[wrap(head_ + size_ - 1)];
+    }
+
+    /** i-th element from the front (0 = front()). */
+    T&
+    operator[](std::size_t i)
+    {
+        assert(i < size_);
+        return ring_[wrap(head_ + i)];
+    }
+
+    const T&
+    operator[](std::size_t i) const
+    {
+        assert(i < size_);
+        return ring_[wrap(head_ + i)];
+    }
+
+    void
+    push_back(T item)
+    {
+        if (size_ == ring_.size())
+            grow();
+        ring_[wrap(head_ + size_)] = std::move(item);
+        ++size_;
+    }
+
+    template <typename... Args>
+    void
+    emplace_back(Args&&... args)
+    {
+        push_back(T(std::forward<Args>(args)...));
+    }
+
+    void
+    pop_front()
+    {
+        assert(size_ != 0);
+        ring_[head_] = T{};  // release payload resources, if any
+        head_ = wrap(head_ + 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            ring_[wrap(head_ + i)] = T{};
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n)
+            p *= 2;
+        return p < 2 ? 2 : p;
+    }
+
+    std::size_t wrap(std::size_t i) const
+    {
+        return i & (ring_.size() - 1);
+    }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(ring_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move(ring_[wrap(head_ + i)]);
+        ring_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> ring_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_RING_DEQUE_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * FlatMap and RingDeque — the hot-path replacements for
+ * std::unordered_map and std::deque — pinned against the standard
+ * containers they replaced, including the capacity-boundary,
+ * wraparound and erase-reinsert regimes the simulator exercises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/flat_map.hh"
+#include "src/sim/ring_deque.hh"
+#include "src/sim/rng.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+// ---------------------------------------------------------------- FlatMap
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, int> map(4);
+    EXPECT_TRUE(map.empty());
+    auto [v, inserted] = map.tryEmplace(42, 7);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*v, 7);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_TRUE(map.contains(42));
+    EXPECT_FALSE(map.contains(43));
+
+    auto [v2, inserted2] = map.tryEmplace(42, 99);
+    EXPECT_FALSE(inserted2);  // existing value is kept
+    EXPECT_EQ(*v2, 7);
+
+    EXPECT_TRUE(map.erase(42));
+    EXPECT_FALSE(map.erase(42));
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs)
+{
+    FlatMap<int, std::uint64_t> map;
+    EXPECT_EQ(map[5], 0u);
+    map[5] = 17;
+    EXPECT_EQ(map[5], 17u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, FillToSizingHintDoesNotGrow)
+{
+    // The PE sizes edge_pending_ at max_edge_bursts; filling exactly
+    // that many entries must not reallocate (steady-state guarantee).
+    FlatMap<std::uint64_t, int> map(16);
+    const std::size_t cap = map.capacity();
+    ASSERT_GE(cap, 16u);
+    for (std::uint64_t k = 0; k < 16; ++k)
+        map.tryEmplace(k * 0x10000, static_cast<int>(k));
+    EXPECT_EQ(map.capacity(), cap);
+    for (std::uint64_t k = 0; k < 16; ++k) {
+        const int* v = map.find(k * 0x10000);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, static_cast<int>(k));
+    }
+}
+
+TEST(FlatMap, GrowsPastTheHintWithoutLosingEntries)
+{
+    FlatMap<std::uint32_t, std::uint32_t> map(4);
+    for (std::uint32_t k = 0; k < 1000; ++k)
+        map.tryEmplace(k, k * k);
+    EXPECT_EQ(map.size(), 1000u);
+    for (std::uint32_t k = 0; k < 1000; ++k) {
+        const std::uint32_t* v = map.find(k);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, k * k);
+    }
+}
+
+TEST(FlatMap, EraseReinsertChurnAtFixedCapacity)
+{
+    // The burst-tag regime: monotonically increasing keys, bounded
+    // live set — erase and reinsert must never corrupt probe chains.
+    FlatMap<std::uint64_t, std::uint64_t> map(8);
+    std::uint64_t next_key = 0;
+    std::vector<std::uint64_t> live;
+    for (int round = 0; round < 5000; ++round) {
+        if (live.size() < 8) {
+            map.tryEmplace(next_key, next_key * 3);
+            live.push_back(next_key);
+            ++next_key;
+        }
+        if (live.size() == 8 || round % 3 == 0) {
+            if (!live.empty()) {
+                EXPECT_TRUE(map.erase(live.front()));
+                live.erase(live.begin());
+            }
+        }
+        EXPECT_EQ(map.size(), live.size());
+        for (std::uint64_t k : live) {
+            const std::uint64_t* v = map.find(k);
+            ASSERT_NE(v, nullptr);
+            EXPECT_EQ(*v, k * 3);
+        }
+    }
+}
+
+TEST(FlatMap, RandomizedParityWithUnorderedMap)
+{
+    FlatMap<std::uint32_t, std::uint32_t> map(8);
+    std::unordered_map<std::uint32_t, std::uint32_t> ref;
+    Rng rng(1234);
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint32_t key =
+            static_cast<std::uint32_t>(rng.below(256));
+        switch (rng.below(3)) {
+          case 0: {  // tryEmplace
+            const std::uint32_t value =
+                static_cast<std::uint32_t>(rng.next());
+            auto [v, inserted] = map.tryEmplace(key, value);
+            auto [it, ref_inserted] = ref.try_emplace(key, value);
+            EXPECT_EQ(inserted, ref_inserted);
+            EXPECT_EQ(*v, it->second);
+            break;
+          }
+          case 1:  // erase
+            EXPECT_EQ(map.erase(key), ref.erase(key) == 1);
+            break;
+          default: {  // find
+            const std::uint32_t* v = map.find(key);
+            auto it = ref.find(key);
+            EXPECT_EQ(v != nullptr, it != ref.end());
+            if (v != nullptr && it != ref.end()) {
+                EXPECT_EQ(*v, it->second);
+            }
+            break;
+          }
+        }
+        EXPECT_EQ(map.size(), ref.size());
+    }
+    // Final sweep: forEach visits every entry exactly once.
+    std::map<std::uint32_t, std::uint32_t> seen;
+    map.forEach([&](std::uint32_t k, std::uint32_t v) {
+        EXPECT_TRUE(seen.emplace(k, v).second);
+    });
+    EXPECT_EQ(seen.size(), ref.size());
+    for (const auto& [k, v] : seen)
+        EXPECT_EQ(ref.at(k), v);
+}
+
+TEST(FlatMap, ClearEmptiesAndStaysUsable)
+{
+    FlatMap<int, int> map;
+    for (int k = 0; k < 50; ++k)
+        map.tryEmplace(k, k);
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.contains(7));
+    map.tryEmplace(7, 70);
+    EXPECT_EQ(*map.find(7), 70);
+}
+
+// -------------------------------------------------------------- RingDeque
+
+TEST(RingDeque, FifoBasics)
+{
+    RingDeque<int> q;
+    EXPECT_TRUE(q.empty());
+    q.push_back(1);
+    q.push_back(2);
+    q.emplace_back(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    EXPECT_EQ(q[1], 2);
+    q.pop_front();
+    EXPECT_EQ(q.front(), 2);
+    q.pop_front();
+    q.pop_front();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingDeque, WraparoundAtFixedCapacityDoesNotGrow)
+{
+    RingDeque<int> q(4);
+    const std::size_t cap = q.capacity();
+    // Push/pop churn far past the capacity: head wraps repeatedly but
+    // the buffer never reallocates while size stays <= capacity.
+    for (int i = 0; i < 1000; ++i) {
+        q.push_back(i);
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_EQ(q.capacity(), cap);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingDeque, GrowsMidWrapPreservingOrder)
+{
+    RingDeque<int> q(4);
+    // Misalign head first, then force growth with a wrapped layout.
+    q.push_back(-1);
+    q.push_back(-2);
+    q.pop_front();
+    q.pop_front();
+    for (int i = 0; i < 37; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 37u);
+    for (int i = 0; i < 37; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+}
+
+TEST(RingDeque, RandomizedParityWithStdDeque)
+{
+    RingDeque<std::uint64_t> q(2);
+    std::deque<std::uint64_t> ref;
+    Rng rng(99);
+    for (int op = 0; op < 20000; ++op) {
+        if (ref.empty() || rng.below(2) == 0) {
+            const std::uint64_t v = rng.next();
+            q.push_back(v);
+            ref.push_back(v);
+        } else {
+            q.pop_front();
+            ref.pop_front();
+        }
+        ASSERT_EQ(q.size(), ref.size());
+        if (!ref.empty()) {
+            EXPECT_EQ(q.front(), ref.front());
+            EXPECT_EQ(q.back(), ref.back());
+            const std::size_t i = rng.below(ref.size());
+            EXPECT_EQ(q[i], ref[i]);
+        }
+    }
+}
+
+TEST(RingDeque, ClearEmptiesAndStaysUsable)
+{
+    RingDeque<int> q;
+    for (int i = 0; i < 20; ++i)
+        q.push_back(i);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push_back(5);
+    EXPECT_EQ(q.front(), 5);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+} // namespace
+} // namespace gmoms
