@@ -35,6 +35,7 @@
 #include "src/graph/datasets.hh"
 #include "src/graph/generator.hh"
 #include "src/graph/reorder.hh"
+#include "src/obs/trace_export.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/report.hh"
 
@@ -169,6 +170,56 @@ struct RunOutcome
     double gteps = 0;
     Engine::Stats engine;    //!< engine activity counters of the run
     double wall_seconds = 0; //!< wall-clock time of Accelerator::run()
+};
+
+/**
+ * Shared `--telemetry` / `--trace=FILE` flag handling for bench mains.
+ * `--trace` implies `--telemetry`; unknown arguments are ignored so a
+ * bench's own flags pass through untouched.
+ */
+struct TelemetryCli
+{
+    bool telemetry = false;
+    std::string trace_path;
+
+    void
+    parse(int argc, char** argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--telemetry")
+                telemetry = true;
+            else if (arg.rfind("--trace=", 0) == 0) {
+                trace_path = arg.substr(8);
+                telemetry = true;
+            }
+        }
+    }
+
+    bool enabled() const { return telemetry; }
+
+    /** Enable collection on @p cfg, labelling the run for the trace. */
+    void
+    apply(AccelConfig& cfg, const std::string& label) const
+    {
+        cfg.telemetry.enabled = telemetry;
+        cfg.telemetry.label = label;
+    }
+
+    /** Write all collected summaries when --trace=FILE was given. */
+    void
+    maybeWriteTrace(const std::vector<TelemetrySummaryPtr>& runs) const
+    {
+        if (trace_path.empty())
+            return;
+        if (writeChromeTraceFile(trace_path, runs))
+            std::printf("\nwrote Chrome trace: %s (open at "
+                        "https://ui.perfetto.dev)\n",
+                        trace_path.c_str());
+        else
+            std::printf("\ncould not write trace file %s\n",
+                        trace_path.c_str());
+    }
 };
 
 /**

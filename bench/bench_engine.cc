@@ -117,5 +117,60 @@ main()
     std::printf("\n%s; aggregate rates land in BENCH_engine.json.\n",
                 exact ? "Both engines agreed bit-for-bit on every run"
                       : "ENGINES DISAGREED — idle-aware mode is broken");
-    return exact ? 0 : 1;
+
+    // Telemetry cost contract (docs/MODEL.md): collection off must be
+    // free (no sampler component, null probe pointers), and collection
+    // on must not change simulation results. The saturated 16-PE
+    // workload is the worst case for per-push/pop probe overhead.
+    std::printf("\n=== Telemetry overhead (idle-aware engine) ===\n");
+    Table tele_table(
+        {"workload", "off s", "on s", "overhead", "stall cyc"});
+    bool tele_exact = true;
+    for (const Workload& w : workloads) {
+        const CooGraph& g = *loadDataset(w.dataset);
+
+        AccelConfig off = w.config;
+        RunOutcome base = runOn(g, w.algo, off);
+
+        AccelConfig on = w.config;
+        on.telemetry.enabled = true;
+        on.telemetry.label = w.name;
+        RunOutcome instr = runOn(g, w.algo, on);
+
+        if (base.result.cycles != instr.result.cycles ||
+            base.result.raw_values != instr.result.raw_values) {
+            std::printf("TELEMETRY PERTURBED %s: off %llu cycles, "
+                        "on %llu cycles\n", w.name.c_str(),
+                        static_cast<unsigned long long>(
+                            base.result.cycles),
+                        static_cast<unsigned long long>(
+                            instr.result.cycles));
+            tele_exact = false;
+        }
+        if (!instr.result.telemetry) {
+            std::printf("NO SUMMARY on %s despite telemetry on\n",
+                        w.name.c_str());
+            tele_exact = false;
+        }
+
+        const double overhead =
+            base.wall_seconds > 0
+                ? instr.wall_seconds / base.wall_seconds - 1.0
+                : 0.0;
+        tele_table.addRow(
+            {w.name, fmt(base.wall_seconds, 2),
+             fmt(instr.wall_seconds, 2),
+             fmt(100.0 * overhead, 1) + "%",
+             instr.result.telemetry
+                 ? std::to_string(
+                       instr.result.telemetry->totalStallCycles())
+                 : "-"});
+    }
+    tele_table.print();
+    std::printf("\n%s.\n",
+                tele_exact
+                    ? "Telemetry left every result bit-identical"
+                    : "TELEMETRY CHANGED RESULTS — collection is not "
+                      "observation-only");
+    return exact && tele_exact ? 0 : 1;
 }

@@ -11,6 +11,11 @@
  *  - private-only wins on high-locality web graphs (IT/SK/UK);
  *  - SCC achieves the highest throughput of the three algorithms;
  *  - design points modelled under 185 MHz are flagged as discarded.
+ *
+ * With `--telemetry` (and optionally `--trace=FILE`) the bench also
+ * prints per-architecture stall attribution: shared-MOMS designs show a
+ * higher bank-conflict share than two-level ones — the measured form of
+ * the paper's argument for private filtering.
  */
 
 #include "bench/bench_common.hh"
@@ -19,8 +24,11 @@ using namespace gmoms;
 using namespace gmoms::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    TelemetryCli cli;
+    cli.parse(argc, argv);
+
     const std::vector<std::string> algos = {"PageRank", "SCC", "SSSP"};
     const std::vector<std::string> tags = benchDatasetTags();
     const std::vector<ArchPreset> presets = fig11Presets();
@@ -44,9 +52,15 @@ main()
                 jobs.push_back({a, p, tag});
     const std::vector<RunOutcome> outcomes =
         sweep(jobs, [&](const Job& j) {
-            return runOn(*loadDataset(j.tag), algos[j.algo],
-                         presets[j.preset].config);
+            AccelConfig cfg = presets[j.preset].config;
+            cli.apply(cfg, presets[j.preset].name + " " +
+                               algos[j.algo] + " " + j.tag);
+            return runOn(*loadDataset(j.tag), algos[j.algo], cfg);
         });
+    auto outcomeAt = [&](std::size_t a, std::size_t p, std::size_t t)
+        -> const RunOutcome& {
+        return outcomes[(a * presets.size() + p) * tags.size() + t];
+    };
 
     std::size_t next = 0;
     for (const std::string& algo : algos) {
@@ -76,6 +90,91 @@ main()
         }
         table.print();
         std::printf("\n");
+    }
+
+    if (cli.enabled()) {
+        // Stall attribution: aggregated per (algo, architecture) over
+        // the dataset suite. Shares are of all *attributed* stall
+        // cycles, so rows compare where each design loses cycles — the
+        // bank-conflict column is the Section II bottleneck argument in
+        // numbers.
+        const std::vector<StallCause> causes = {
+            StallCause::BankConflict,     StallCause::MshrFull,
+            StallCause::SubentryFull,     StallCause::CrossingCredit,
+            StallCause::RowMiss,
+            StallCause::DownstreamBackpressure,
+        };
+        std::printf("=== Stall attribution "
+                    "(share of attributed stall cycles) ===\n");
+        for (std::size_t a = 0; a < algos.size(); ++a) {
+            std::printf("--- %s ---\n", algos[a].c_str());
+            std::vector<std::string> header = {"architecture"};
+            for (StallCause c : causes)
+                header.push_back(stallCauseName(c));
+            header.push_back("top (group/cause)");
+            Table table(header);
+            for (std::size_t p = 0; p < presets.size(); ++p) {
+                std::vector<std::uint64_t> per_cause(causes.size(), 0);
+                std::uint64_t total = 0;
+                const TelemetrySummary* top_src = nullptr;
+                for (std::size_t t = 0; t < tags.size(); ++t) {
+                    const auto& s = outcomeAt(a, p, t).result.telemetry;
+                    if (!s)
+                        continue;
+                    for (std::size_t c = 0; c < causes.size(); ++c)
+                        per_cause[c] += s->stallCycles("", causes[c]);
+                    total += s->totalStallCycles();
+                    if (!top_src)
+                        top_src = s.get();
+                }
+                std::vector<std::string> row = {presets[p].name};
+                for (std::size_t c = 0; c < causes.size(); ++c)
+                    row.push_back(
+                        total ? fmt(100.0 * static_cast<double>(
+                                                per_cause[c]) /
+                                        static_cast<double>(total),
+                                    1) + "%"
+                              : "-");
+                if (top_src && top_src->topStall())
+                    row.push_back(top_src->topStall()->group + "/" +
+                                  stallCauseName(
+                                      top_src->topStall()->cause));
+                else
+                    row.push_back("-");
+                table.addRow(row);
+            }
+            table.print();
+            std::printf("\n");
+        }
+
+        // Per-dataset bank-conflict share on the first algorithm: the
+        // shared-MOMS rows should sit strictly above the two-level rows
+        // (the private level filters and line-coalesces the crossbar
+        // traffic) — the paper's motivation for the two-level design.
+        std::printf("--- bank-conflict share per dataset (%s) ---\n",
+                    algos[0].c_str());
+        std::vector<std::string> header = {"architecture"};
+        for (const auto& tag : tags)
+            header.push_back(tag);
+        Table table(header);
+        for (std::size_t p = 0; p < presets.size(); ++p) {
+            std::vector<std::string> row = {presets[p].name};
+            for (std::size_t t = 0; t < tags.size(); ++t) {
+                const auto& s = outcomeAt(0, p, t).result.telemetry;
+                row.push_back(
+                    s ? fmt(100.0 * s->stallShare(
+                                        StallCause::BankConflict),
+                            1) + "%"
+                      : "-");
+            }
+            table.addRow(row);
+        }
+        table.print();
+
+        std::vector<TelemetrySummaryPtr> summaries;
+        for (const RunOutcome& out : outcomes)
+            summaries.push_back(out.result.telemetry);
+        cli.maybeWriteTrace(summaries);
     }
     return 0;
 }

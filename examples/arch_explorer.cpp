@@ -7,8 +7,13 @@
  *
  * Usage:
  *   example_arch_explorer [algo] [dataset-tag] [--json]
+ *                         [--telemetry] [--trace=FILE]
  *     algo:    PageRank | SCC | SSSP        (default SCC)
  *     dataset: WT DB UK IT SK MP RV FR WB 24 25 26  (default 24)
+ *
+ * --telemetry adds each design point's top bottleneck (stall group and
+ * cause) to the report; --trace=FILE additionally writes all runs into
+ * one Chrome trace-event JSON for https://ui.perfetto.dev.
  */
 
 #include <cstdio>
@@ -23,6 +28,7 @@
 #include "src/graph/datasets.hh"
 #include "src/graph/generator.hh"
 #include "src/graph/reorder.hh"
+#include "src/obs/trace_export.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/report.hh"
 
@@ -46,9 +52,29 @@ makeSpec(const std::string& algo, const CooGraph& g)
 int
 main(int argc, char** argv)
 {
-    std::string algo = argc > 1 ? argv[1] : "SCC";
-    std::string tag = argc > 2 ? argv[2] : "24";
-    const bool json = argc > 3 && std::strcmp(argv[3], "--json") == 0;
+    std::string algo = "SCC";
+    std::string tag = "24";
+    bool json = false;
+    bool telemetry = false;
+    std::string trace_path;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json")
+            json = true;
+        else if (arg == "--telemetry")
+            telemetry = true;
+        else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(8);
+            telemetry = true;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() > 0)
+        algo = positional[0];
+    if (positional.size() > 1)
+        tag = positional[1];
 
     CooGraph g = buildDataset(datasetByTag(tag));
     auto [nd, ns] = defaultIntervalsFor(g.numNodes(), g.numEdges());
@@ -87,6 +113,7 @@ main(int argc, char** argv)
     {
         double gteps = 0;
         std::string line;
+        std::shared_ptr<const TelemetrySummary> telemetry;
     };
     std::vector<Explored> results(std::size(candidates));
     std::vector<ThreadPool::Job> tasks;
@@ -99,8 +126,20 @@ main(int argc, char** argv)
             cfg.moms = cand.moms;
             cfg.nd = nd;
             cfg.ns = ns;
+            cfg.telemetry.enabled = telemetry;
+            cfg.telemetry.label = std::string(cand.name) + " " + algo +
+                                  " " + tag;
             Accelerator accel(cfg, pg, spec);
             RunResult res = accel.run();
+            results[i].telemetry = res.telemetry;
+            std::string bottleneck;
+            if (res.telemetry) {
+                if (const auto* top = res.telemetry->topStall())
+                    bottleneck = top->group + "/" +
+                                 stallCauseName(top->cause);
+                else
+                    bottleneck = "none";
+            }
             const double fmax = modelFrequencyMhz(cfg, spec);
             const double gteps = res.gteps(fmax);
             const double watts = modelPowerWatts(cfg, spec);
@@ -120,14 +159,18 @@ main(int argc, char** argv)
                     .set("hit_rate", res.moms_hit_rate)
                     .set("dram_bytes_read", res.dram_bytes_read)
                     .set("discarded", fmax < kMinFrequencyMhz);
+                if (!bottleneck.empty())
+                    report.set("top_bottleneck", bottleneck);
                 results[i].line = report.str() + "\n";
             } else {
-                char buf[160];
+                char buf[200];
                 std::snprintf(buf, sizeof(buf),
                               "  %-20s %6.3f GTEPS  %3.0f MHz  %4.1f W"
-                              "  LUT %4.1f%%  %6.2f MTEPS/W\n",
+                              "  LUT %4.1f%%  %6.2f MTEPS/W%s%s\n",
                               cand.name, gteps, fmax, watts,
-                              100 * rb.lut_util, 1000.0 * gteps / watts);
+                              100 * rb.lut_util, 1000.0 * gteps / watts,
+                              bottleneck.empty() ? "" : "  bottleneck ",
+                              bottleneck.c_str());
                 results[i].line = buf;
             }
         });
@@ -149,5 +192,21 @@ main(int argc, char** argv)
         std::printf("\nbest design for this workload: %s "
                     "(%.3f GTEPS)\n",
                     best_name, best);
+
+    if (!trace_path.empty()) {
+        std::vector<TelemetrySummaryPtr> summaries;
+        for (const Explored& r : results)
+            summaries.push_back(r.telemetry);
+        if (writeChromeTraceFile(trace_path, summaries)) {
+            if (!json)
+                std::printf("wrote Chrome trace: %s (open at "
+                            "https://ui.perfetto.dev)\n",
+                            trace_path.c_str());
+        } else {
+            std::fprintf(stderr, "could not write trace file %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+    }
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "src/cache/moms_system.hh"
 #include "src/mem/dram_config.hh"
+#include "src/obs/telemetry.hh"
 
 namespace gmoms
 {
@@ -51,6 +52,12 @@ struct AccelConfig
 
     /** Safety limit for one run. */
     Cycle max_cycles = 500'000'000;
+
+    /** Observability: disabled by default (zero per-cycle cost — no
+     *  sampler component is created and all probe pointers stay null).
+     *  When enabled, results are still bit-exact; see docs/MODEL.md
+     *  "Telemetry & tracing". */
+    TelemetryConfig telemetry;
 
     /** Run the simulation engine in legacy tick-everything mode
      *  (cycle- and stat-exact with the default idle-aware mode — see

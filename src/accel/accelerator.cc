@@ -48,6 +48,18 @@ Accelerator::Accelerator(const AccelConfig& cfg,
             mem_->port(p), moms_->pePort(p), mem_->store()));
         engine_.add(pes_.back().get());
     }
+
+    if (cfg_.telemetry.enabled) {
+        TelemetryConfig tcfg = cfg_.telemetry;
+        if (tcfg.label.empty())
+            tcfg.label = cfg_.label();
+        tele_ = std::make_unique<Telemetry>(engine_, tcfg);
+        moms_->registerTelemetry(*tele_);
+        for (auto& pe : pes_)
+            pe->registerTelemetry(*tele_);
+        for (std::uint32_t c = 0; c < cfg_.num_channels; ++c)
+            mem_->channel(c).registerTelemetry(*tele_);
+    }
 }
 
 Accelerator::~Accelerator() = default;
@@ -84,6 +96,8 @@ Accelerator::run()
 
     for (std::uint32_t iter = 0;
          iter < spec_.max_iterations && cont; ++iter) {
+        if (tele_)
+            tele_->beginPhase("iter" + std::to_string(iter));
         sched_->startIteration();
         // Both predicates here are pure (read simulation state only),
         // so the engine may fast-forward across all-quiescent gaps.
@@ -105,8 +119,14 @@ Accelerator::run()
 
     // Let the queues fully drain (writes are already acked, but DRAM
     // response queues may hold stale timing tokens).
+    if (tele_)
+        tele_->beginPhase("drain");
     engine_.runUntil([this] { return mem_->idle() && moms_->idle(); },
                      100000, Engine::Poll::OnEvents);
+    if (tele_) {
+        tele_->endPhase();
+        result.telemetry = tele_->finalize();
+    }
 
     result.cycles = engine_.now();
     result.dram_bytes_read = mem_->totalBytesRead();

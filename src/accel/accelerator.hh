@@ -41,6 +41,10 @@ struct RunResult
     /** Final raw V_DRAM node values. */
     std::vector<std::uint32_t> raw_values;
 
+    /** Telemetry summary; null unless AccelConfig::telemetry.enabled.
+     *  Outlives the Accelerator (safe to export/print later). */
+    std::shared_ptr<const TelemetrySummary> telemetry;
+
     /** Throughput in giga-traversed-edges/s at @p freq_mhz. */
     double
     gteps(double freq_mhz) const
@@ -89,6 +93,9 @@ class Accelerator
     std::unique_ptr<GraphLayout> layout_;
     std::unique_ptr<Scheduler> sched_;
     std::vector<std::unique_ptr<Pe>> pes_;
+    /** Last member: destroyed first, while the components whose
+     *  counters it references are still alive. */
+    std::unique_ptr<Telemetry> tele_;
 };
 
 } // namespace gmoms

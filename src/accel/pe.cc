@@ -492,4 +492,29 @@ Pe::tickWriteback()
     }
 }
 
+void
+Pe::registerTelemetry(Telemetry& tele)
+{
+    tele.addStall("pe", StallCause::RawHazard, &stats_.raw_stalls);
+    tele.addStall("pe", StallCause::ThreadSlotsFull,
+                  &stats_.thread_stalls);
+    tele.addStall("pe",
+                  cfg_->moms.topology == MomsConfig::Topology::Shared
+                      ? StallCause::CrossingCredit
+                      : StallCause::DownstreamBackpressure,
+                  &stats_.moms_send_stalls);
+    // idle_cycles/busy_cycles are reconstructed in bulk by catchUp(),
+    // so their *totals* are engine-mode exact while individual window
+    // deltas may shift by a wake gap (see docs/MODEL.md).
+    tele.addStall("pe", StallCause::UpstreamEmpty, &stats_.idle_cycles);
+    tele.addCounter("pe.edges", &stats_.edges_processed);
+    tele.addCounter("pe.moms_reads", &stats_.moms_reads);
+    tele.addCounter("pe.busy", &stats_.busy_cycles);
+    tele.addLevel("pe.threads_outstanding", [this] {
+        return static_cast<double>(threads_outstanding_);
+    });
+    decode_q_.attachProbe(
+        tele.makeQueueProbe(name() + ".decode_q", 0), &engine_);
+}
+
 } // namespace gmoms

@@ -75,6 +75,12 @@ class Pe : public Component
 
     const Stats& stats() const { return stats_; }
 
+    /** Attach stall channels, series and the decode-queue probe to
+     *  @p tele (stall group "pe"). A full MOMS port means different
+     *  things per topology (die-crossing credits vs a busy private
+     *  bank), so the cause of moms_send_stalls is topology-aware. */
+    void registerTelemetry(Telemetry& tele);
+
   private:
     enum class Phase { Idle, FetchPtrs, Init, Stream, Writeback };
 

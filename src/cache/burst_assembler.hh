@@ -77,6 +77,21 @@ class BurstAssembler : public Component, public LineDownstream
 
     const Stats& stats() const { return stats_; }
 
+    /** Attach counters and the ready-line queue probe to @p tele
+     *  (series group "dynaburst"). */
+    void
+    registerTelemetry(Telemetry& tele)
+    {
+        tele.addCounter("dynaburst.line_requests",
+                        &stats_.line_requests);
+        tele.addCounter("dynaburst.bursts", &stats_.bursts);
+        tele.addCounter("dynaburst.lines_fetched",
+                        &stats_.lines_fetched);
+        tele.addCounter("dynaburst.timeouts", &stats_.timeouts);
+        ready_.attachProbe(tele.makeQueueProbe(name() + ".ready", 0),
+                           &engine_);
+    }
+
   private:
     struct Window
     {

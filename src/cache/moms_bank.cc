@@ -174,6 +174,7 @@ MomsBank::idle() const
 void
 MomsBank::registerStats(StatRegistry& reg) const
 {
+    stat_eraser_ = reg.scopedPrefix(name() + ".");
     reg.addCounter(name() + ".requests", &stats_.requests);
     reg.addCounter(name() + ".hits", &stats_.hits);
     reg.addCounter(name() + ".primary_misses", &stats_.primary_misses);
@@ -186,6 +187,32 @@ MomsBank::registerStats(StatRegistry& reg) const
     reg.addCounter(name() + ".stall_downstream",
                    &stats_.stall_downstream);
     reg.addCounter(name() + ".drain_busy", &stats_.drain_busy);
+}
+
+void
+MomsBank::registerTelemetry(Telemetry& tele, const std::string& group,
+                            StallCause downstream_cause)
+{
+    tele.addStall(group, StallCause::MshrFull, &stats_.stall_mshr);
+    tele.addStall(group, StallCause::SubentryFull,
+                  &stats_.stall_subentry);
+    tele.addStall(group, downstream_cause, &stats_.stall_downstream);
+    tele.addStall(group, StallCause::DownstreamBackpressure,
+                  &stats_.stall_resp_out);
+    tele.addCounter(group + ".requests", &stats_.requests);
+    tele.addCounter(group + ".hits", &stats_.hits);
+    tele.addCounter(group + ".secondary_misses",
+                    &stats_.secondary_misses);
+    tele.addCounter(group + ".lines_from_mem", &stats_.lines_from_mem);
+    tele.addLevel(group + ".mshr_occupancy", [this] {
+        return static_cast<double>(mshrs_->occupancy());
+    });
+    cpu_req_in_.attachProbe(tele.makeQueueProbe(
+        name() + ".req_in", cpu_req_in_.capacity()));
+    cpu_resp_out_.attachProbe(tele.makeQueueProbe(
+        name() + ".resp_out", cpu_resp_out_.capacity()));
+    drain_pending_.attachProbe(
+        tele.makeQueueProbe(name() + ".drain_pending", 0), &engine_);
 }
 
 } // namespace gmoms

@@ -30,6 +30,7 @@
 #include "src/cache/cache_types.hh"
 #include "src/cache/mshr.hh"
 #include "src/cache/subentry_store.hh"
+#include "src/obs/telemetry.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/ring_deque.hh"
 #include "src/sim/stats.hh"
@@ -147,6 +148,15 @@ class MomsBank : public Component
 
     void registerStats(StatRegistry& reg) const;
 
+    /**
+     * Attach this bank's stall channels, series and queue probes to
+     * @p tele under stall group @p group. The semantic meaning of a
+     * full downstream differs per topology (DRAM port vs die-crossing
+     * queue), so the owner supplies @p downstream_cause.
+     */
+    void registerTelemetry(Telemetry& tele, const std::string& group,
+                           StallCause downstream_cause);
+
   private:
     /** Handle one request; returns false if it must be retried. */
     bool processRequest(const ReadReq& req);
@@ -169,6 +179,7 @@ class MomsBank : public Component
     bool resp_port_used_ = false;       //!< drain claimed the output
 
     Stats stats_;
+    mutable StatRegistry::Eraser stat_eraser_;
 };
 
 } // namespace gmoms

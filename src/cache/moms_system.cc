@@ -457,11 +457,15 @@ MomsSystem::tick()
             continue;
         const std::uint32_t b =
             bankOf(lineOf(xbar_req_[c]->front().addr));
-        if (bank_claimed_[b])
+        if (bank_claimed_[b]) {
+            ++xbar_stats_.req_conflicts;
             continue;
+        }
         MomsBank& bank = *shared_banks_[b];
-        if (!bank.cpuReqIn().canPush())
+        if (!bank.cpuReqIn().canPush()) {
+            ++xbar_stats_.req_bank_busy;
             continue;
+        }
         bank.cpuReqIn().push(xbar_req_[c]->pop());
         bank_claimed_[b] = true;
     }
@@ -476,8 +480,14 @@ MomsSystem::tick()
         if (!bank.cpuRespOut().canPop())
             continue;
         const std::uint32_t c = bank.cpuRespOut().front().client;
-        if (client_claimed_[c] || !xbar_resp_[c]->canPush())
+        if (client_claimed_[c]) {
+            ++xbar_stats_.resp_conflicts;
             continue;
+        }
+        if (!xbar_resp_[c]->canPush()) {
+            ++xbar_stats_.resp_backpressure;
+            continue;
+        }
         xbar_resp_[c]->push(bank.cpuRespOut().pop());
         client_claimed_[c] = true;
     }
@@ -570,6 +580,54 @@ MomsSystem::registerStats(StatRegistry& reg) const
         b->registerStats(reg);
     for (const auto& b : private_banks_)
         b->registerStats(reg);
+    if (!shared_banks_.empty()) {
+        stat_eraser_ = reg.scopedPrefix("moms.xbar.");
+        reg.addCounter("moms.xbar.req_conflicts",
+                       &xbar_stats_.req_conflicts);
+        reg.addCounter("moms.xbar.req_bank_busy",
+                       &xbar_stats_.req_bank_busy);
+        reg.addCounter("moms.xbar.resp_conflicts",
+                       &xbar_stats_.resp_conflicts);
+        reg.addCounter("moms.xbar.resp_backpressure",
+                       &xbar_stats_.resp_backpressure);
+    }
+}
+
+void
+MomsSystem::registerTelemetry(Telemetry& tele)
+{
+    const bool two_level =
+        cfg_.topology == MomsConfig::Topology::TwoLevel;
+    for (auto& b : shared_banks_)
+        b->registerTelemetry(tele,
+                             two_level ? "moms.l2" : "moms.shared",
+                             StallCause::DownstreamBackpressure);
+    for (auto& b : private_banks_)
+        b->registerTelemetry(tele,
+                             two_level ? "moms.l1" : "moms.private",
+                             two_level
+                                 ? StallCause::CrossingCredit
+                                 : StallCause::DownstreamBackpressure);
+    if (!shared_banks_.empty()) {
+        tele.addStall("moms.xbar", StallCause::BankConflict,
+                      &xbar_stats_.req_conflicts);
+        tele.addStall("moms.xbar", StallCause::BankConflict,
+                      &xbar_stats_.resp_conflicts);
+        tele.addStall("moms.xbar", StallCause::DownstreamBackpressure,
+                      &xbar_stats_.req_bank_busy);
+        tele.addStall("moms.xbar", StallCause::DownstreamBackpressure,
+                      &xbar_stats_.resp_backpressure);
+        for (std::size_t c = 0; c < xbar_req_.size(); ++c) {
+            xbar_req_[c]->attachProbe(tele.makeQueueProbe(
+                "moms.xbar.req" + std::to_string(c),
+                xbar_req_[c]->capacity()));
+            xbar_resp_[c]->attachProbe(tele.makeQueueProbe(
+                "moms.xbar.resp" + std::to_string(c),
+                xbar_resp_[c]->capacity()));
+        }
+    }
+    for (auto& a : assemblers_)
+        a->registerTelemetry(tele);
 }
 
 } // namespace gmoms

@@ -110,6 +110,18 @@ struct MomsConfig
 class MomsSystem : public Component
 {
   public:
+    /** Crossbar arbitration outcomes (Section II's bank-conflict
+     *  bottleneck, made countable). Incremented only on cycles where a
+     *  token is poppable, i.e. ticks that occur in both engine modes,
+     *  so the counts are engine-mode exact. */
+    struct XbarStats
+    {
+        std::uint64_t req_conflicts = 0;     //!< bank already claimed
+        std::uint64_t req_bank_busy = 0;     //!< bank input queue full
+        std::uint64_t resp_conflicts = 0;    //!< client already claimed
+        std::uint64_t resp_backpressure = 0; //!< client resp queue full
+    };
+
     MomsSystem(Engine& engine, MemorySystem& mem,
                std::uint32_t first_mem_port, std::uint32_t num_pes,
                const MomsConfig& cfg);
@@ -160,7 +172,14 @@ class MomsSystem : public Component
         return private_banks_;
     }
 
+    const XbarStats& xbarStats() const { return xbar_stats_; }
+
     void registerStats(StatRegistry& reg) const;
+
+    /** Attach every level (banks, crossbar, burst assemblers) to
+     *  @p tele with topology-aware stall groups: "moms.shared" /
+     *  "moms.private" / "moms.l1"+"moms.l2" and "moms.xbar". */
+    void registerTelemetry(Telemetry& tele);
 
   private:
     struct DramAdapter;
@@ -197,6 +216,9 @@ class MomsSystem : public Component
     // Per-cycle arbitration scratch (members to avoid reallocation).
     std::vector<bool> bank_claimed_;
     std::vector<bool> client_claimed_;
+
+    XbarStats xbar_stats_;
+    mutable StatRegistry::Eraser stat_eraser_;
 };
 
 } // namespace gmoms

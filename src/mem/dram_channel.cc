@@ -41,6 +41,7 @@ DramChannel::serviceCycles(const MemReq& req)
         ++stats_.row_hits;
     } else {
         ++stats_.row_misses;
+        stats_.row_miss_penalty_cycles += cfg_.row_miss_extra_cycles;
         open_row_[bank] = row;
         occupancy += cfg_.row_miss_extra_cycles;
     }
@@ -133,6 +134,7 @@ DramChannel::idle() const
 void
 DramChannel::registerStats(StatRegistry& reg) const
 {
+    stat_eraser_ = reg.scopedPrefix(name() + ".");
     reg.addCounter(name() + ".reads", &stats_.reads);
     reg.addCounter(name() + ".writes", &stats_.writes);
     reg.addCounter(name() + ".bytes_read", &stats_.bytes_read);
@@ -140,6 +142,28 @@ DramChannel::registerStats(StatRegistry& reg) const
     reg.addCounter(name() + ".row_hits", &stats_.row_hits);
     reg.addCounter(name() + ".row_misses", &stats_.row_misses);
     reg.addCounter(name() + ".busy_cycles", &stats_.busy_cycles);
+    reg.addCounter(name() + ".row_miss_penalty_cycles",
+                   &stats_.row_miss_penalty_cycles);
+}
+
+void
+DramChannel::registerTelemetry(Telemetry& tele)
+{
+    // No per-tick backpressure counting here: the delivery-retry loop
+    // runs at different tick frequencies under the two engine modes,
+    // so a per-tick counter would not be engine-mode exact. Row-miss
+    // penalty cycles are charged per transaction and are exact.
+    tele.addStall("dram", StallCause::RowMiss,
+                  &stats_.row_miss_penalty_cycles);
+    tele.addCounter("dram.bytes_read", &stats_.bytes_read);
+    tele.addCounter("dram.bytes_written", &stats_.bytes_written);
+    tele.addCounter("dram.busy_cycles", &stats_.busy_cycles);
+    tele.addCounter("dram.row_misses", &stats_.row_misses);
+    tele.addLevel("dram.in_flight", [this] {
+        return static_cast<double>(in_flight_.size());
+    });
+    in_flight_.attachProbe(
+        tele.makeQueueProbe(name() + ".in_flight", 0), &engine_);
 }
 
 } // namespace gmoms

@@ -19,6 +19,7 @@
 
 #include "src/mem/dram_config.hh"
 #include "src/mem/mem_types.hh"
+#include "src/obs/telemetry.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/ring_deque.hh"
 #include "src/sim/stats.hh"
@@ -39,6 +40,9 @@ class DramChannel : public Component
         std::uint64_t row_hits = 0;
         std::uint64_t row_misses = 0;
         std::uint64_t busy_cycles = 0;  //!< cycles the data bus was occupied
+        /** Bus cycles lost to row activations (the stall-attribution
+         *  view of row_misses: cycles, not transaction counts). */
+        std::uint64_t row_miss_penalty_cycles = 0;
     };
 
     DramChannel(const Engine& engine, std::string name,
@@ -80,6 +84,10 @@ class DramChannel : public Component
 
     void registerStats(StatRegistry& reg) const;
 
+    /** Attach stall channels, series and queue probes to @p tele
+     *  (stall group "dram"). */
+    void registerTelemetry(Telemetry& tele);
+
   private:
     struct InFlight
     {
@@ -100,6 +108,7 @@ class DramChannel : public Component
     Cycle bus_free_at_ = 0;
     std::uint32_t next_port_ = 0;           //!< round-robin pointer
     Stats stats_;
+    mutable StatRegistry::Eraser stat_eraser_;
 };
 
 } // namespace gmoms

@@ -1,0 +1,321 @@
+#include "src/obs/json_check.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gmoms
+{
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& [k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<JsonValue>
+    run()
+    {
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after value");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string& what)
+    {
+        if (error_ != nullptr && error_->empty())
+            *error_ = what + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        fail(std::string("expected '") + c + "'");
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            fail("bad literal");
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    parseArray(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    hexDigit(char c, unsigned& out) const
+    {
+        if (c >= '0' && c <= '9') {
+            out = static_cast<unsigned>(c - '0');
+            return true;
+        }
+        if (c >= 'a' && c <= 'f') {
+            out = static_cast<unsigned>(c - 'a' + 10);
+            return true;
+        }
+        if (c >= 'A' && c <= 'F') {
+            out = static_cast<unsigned>(c - 'A' + 10);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    appendUtf8(std::string& s, unsigned cp) const
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        ++pos_;  // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size()) {
+                fail("dangling escape");
+                return false;
+            }
+            const char esc = text_[pos_ + 1];
+            pos_ += 2;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    unsigned d = 0;
+                    if (!hexDigit(text_[pos_ + i], d)) {
+                        fail("bad \\u escape");
+                        return false;
+                    }
+                    cp = cp * 16 + d;
+                }
+                pos_ += 4;
+                appendUtf8(out, cp);
+                break;
+              }
+              default: fail("unknown escape"); return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            const std::size_t d = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            return pos_ > d;
+        };
+        if (!digits()) {
+            fail("bad number");
+            return false;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits()) {
+                fail("bad fraction");
+                return false;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits()) {
+                fail("bad exponent");
+                return false;
+            }
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(
+            std::string(text_.substr(start, pos_ - start)).c_str(),
+            nullptr);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string* error)
+{
+    if (error != nullptr)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace gmoms

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal JSON parser for validity checks and round-trip tests.
+ *
+ * This is deliberately not a general-purpose JSON library: it exists so
+ * tests can prove that everything the simulator *writes* (JsonReport
+ * bench records, the Chrome trace exporter) is well-formed and parses
+ * back to the expected values, without adding a dependency. It accepts
+ * strict RFC 8259 JSON (objects, arrays, strings with escapes including
+ * \uXXXX, numbers, true/false/null) and rejects trailing garbage.
+ */
+
+#ifndef GMOMS_OBS_JSON_CHECK_HH
+#define GMOMS_OBS_JSON_CHECK_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gmoms
+{
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member named @p key; null when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+};
+
+/**
+ * Parse @p text as a single JSON value. Returns nullopt on any syntax
+ * error (including trailing non-whitespace); when @p error is non-null
+ * it receives a short description with the byte offset.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string* error = nullptr);
+
+} // namespace gmoms
+
+#endif // GMOMS_OBS_JSON_CHECK_HH

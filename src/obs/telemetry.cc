@@ -1,0 +1,407 @@
+#include "src/obs/telemetry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+const char*
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::UpstreamEmpty: return "upstream-empty";
+      case StallCause::DownstreamBackpressure:
+        return "downstream-backpressure";
+      case StallCause::BankConflict: return "bank-conflict";
+      case StallCause::MshrFull: return "mshr-full";
+      case StallCause::SubentryFull: return "subentry-full";
+      case StallCause::RowMiss: return "row-miss";
+      case StallCause::CrossingCredit: return "crossing-credit";
+      case StallCause::RawHazard: return "raw-hazard";
+      case StallCause::ThreadSlotsFull: return "thread-slots-full";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// TelemetrySummary queries
+// ---------------------------------------------------------------------
+
+double
+TelemetrySummary::total(const std::string& series_name) const
+{
+    for (std::size_t i = 0; i < series.size(); ++i)
+        if (series[i] == series_name)
+            return series_totals[i];
+    return 0.0;
+}
+
+std::uint64_t
+TelemetrySummary::stallCycles(const std::string& group,
+                              StallCause cause) const
+{
+    std::uint64_t total = 0;
+    for (const StallTotal& s : stalls)
+        if (s.cause == cause && (group.empty() || s.group == group))
+            total += s.cycles;
+    return total;
+}
+
+std::uint64_t
+TelemetrySummary::totalStallCycles() const
+{
+    std::uint64_t total = 0;
+    for (const StallTotal& s : stalls)
+        total += s.cycles;
+    return total;
+}
+
+double
+TelemetrySummary::stallShare(StallCause cause) const
+{
+    const std::uint64_t all = totalStallCycles();
+    if (all == 0)
+        return 0.0;
+    return static_cast<double>(stallCycles("", cause)) /
+           static_cast<double>(all);
+}
+
+const TelemetrySummary::StallTotal*
+TelemetrySummary::topStall() const
+{
+    const StallTotal* top = nullptr;
+    for (const StallTotal& s : stalls)
+        if (s.cycles > 0 && (top == nullptr || s.cycles > top->cycles))
+            top = &s;
+    return top;
+}
+
+std::string
+bottleneckReport(const TelemetrySummary& summary)
+{
+    std::ostringstream os;
+    os << "bottleneck report";
+    if (!summary.label.empty())
+        os << " [" << summary.label << "]";
+    os << " — " << summary.total_cycles << " cycles, window "
+       << summary.window_cycles << "\n";
+
+    const std::uint64_t all = summary.totalStallCycles();
+    auto describe = [&](const std::vector<std::uint64_t>& stalls,
+                        std::uint64_t denom) {
+        // Top two (group, cause) entries of this stall vector.
+        std::size_t first = stalls.size(), second = stalls.size();
+        for (std::size_t i = 0; i < stalls.size(); ++i) {
+            if (stalls[i] == 0)
+                continue;
+            if (first == stalls.size() || stalls[i] > stalls[first]) {
+                second = first;
+                first = i;
+            } else if (second == stalls.size() ||
+                       stalls[i] > stalls[second]) {
+                second = i;
+            }
+        }
+        if (first == stalls.size() || denom == 0) {
+            os << "no attributed stalls";
+            return;
+        }
+        auto one = [&](std::size_t i) {
+            const auto& key = summary.stalls[i];
+            os << key.group << "/" << stallCauseName(key.cause) << " ("
+               << (100.0 * static_cast<double>(stalls[i]) /
+                   static_cast<double>(denom))
+               << "%)";
+        };
+        os << "top ";
+        one(first);
+        if (second != stalls.size()) {
+            os << ", then ";
+            one(second);
+        }
+    };
+
+    {
+        std::vector<std::uint64_t> totals(summary.stalls.size(), 0);
+        for (std::size_t i = 0; i < summary.stalls.size(); ++i)
+            totals[i] = summary.stalls[i].cycles;
+        os << "  overall: ";
+        describe(totals, all);
+        os << "\n";
+    }
+
+    for (const auto& phase : summary.phases) {
+        std::uint64_t phase_total = 0;
+        for (std::uint64_t s : phase.stalls)
+            phase_total += s;
+        os << "  phase " << phase.name << " [" << phase.begin << ".."
+           << phase.end << "]: ";
+        describe(phase.stalls, phase_total);
+        os << "\n";
+    }
+
+    // Hottest queues by time spent full (bounded) or high water.
+    std::vector<const TelemetrySummary::QueueSummary*> hot;
+    for (const auto& q : summary.queues)
+        if (q.time_at_full > 0)
+            hot.push_back(&q);
+    std::sort(hot.begin(), hot.end(), [](const auto* a, const auto* b) {
+        return a->time_at_full > b->time_at_full;
+    });
+    if (hot.size() > 5)
+        hot.resize(5);
+    for (const auto* q : hot)
+        os << "  queue " << q->name << ": full "
+           << (summary.total_cycles
+                   ? 100.0 * static_cast<double>(q->time_at_full) /
+                         static_cast<double>(summary.total_cycles)
+                   : 0.0)
+           << "% of run, high water " << q->high_water << "/"
+           << q->capacity << "\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+Telemetry::Telemetry(Engine& engine, const TelemetryConfig& cfg)
+    : Component("telemetry"), engine_(engine), cfg_(cfg),
+      window_cycles_(std::max<Cycle>(1, cfg.window_cycles))
+{
+    cfg_.max_windows = std::max<std::size_t>(2, cfg_.max_windows) &
+                       ~static_cast<std::size_t>(1);
+    window_begin_ = engine.now();
+    next_sample_ = window_begin_ + window_cycles_;
+    engine.add(this);
+}
+
+Telemetry::~Telemetry() = default;
+
+std::size_t
+Telemetry::seriesIndex(const std::string& name, bool level)
+{
+    for (std::size_t i = 0; i < series_.size(); ++i)
+        if (series_[i].name == name) {
+            if (series_[i].level != level)
+                fatal("telemetry series '" + name +
+                      "' registered as both counter and level");
+            return i;
+        }
+    series_.push_back(Series{name, level, {}, {}});
+    prev_sample_.push_back(0.0);
+    return series_.size() - 1;
+}
+
+void
+Telemetry::addCounter(const std::string& series,
+                      const std::uint64_t* src)
+{
+    series_[seriesIndex(series, false)].counters.push_back(src);
+}
+
+void
+Telemetry::addLevel(const std::string& series,
+                    std::function<double()> probe)
+{
+    series_[seriesIndex(series, true)].probes.push_back(
+        std::move(probe));
+}
+
+void
+Telemetry::addStall(const std::string& group, StallCause cause,
+                    const std::uint64_t* src)
+{
+    std::size_t key = stall_keys_.size();
+    for (std::size_t i = 0; i < stall_keys_.size(); ++i)
+        if (stall_keys_[i].group == group &&
+            stall_keys_[i].cause == cause) {
+            key = i;
+            break;
+        }
+    if (key == stall_keys_.size())
+        stall_keys_.push_back(StallKey{group, cause});
+    stall_channels_.push_back(StallChannel{key, src});
+    addCounter("stall." + group + "." + stallCauseName(cause), src);
+}
+
+QueueProbe*
+Telemetry::makeQueueProbe(std::string name, std::size_t capacity)
+{
+    probes_.push_back(
+        std::make_unique<QueueProbe>(std::move(name), capacity));
+    return probes_.back().get();
+}
+
+void
+Telemetry::beginPhase(std::string name)
+{
+    endPhase();
+    PhaseRecord rec;
+    rec.name = std::move(name);
+    rec.begin = engine_.now();
+    rec.stalls_at_begin = stallSnapshot();
+    phases_.push_back(std::move(rec));
+}
+
+void
+Telemetry::endPhase()
+{
+    if (phases_.empty() || phases_.back().end != kCycleNever)
+        return;
+    phases_.back().end = engine_.now();
+    phases_.back().stalls_at_end = stallSnapshot();
+}
+
+std::vector<std::uint64_t>
+Telemetry::stallSnapshot() const
+{
+    std::vector<std::uint64_t> snap(stall_keys_.size(), 0);
+    for (const StallChannel& ch : stall_channels_)
+        snap[ch.key] += *ch.src;
+    return snap;
+}
+
+double
+Telemetry::sampleSeries(const Series& s) const
+{
+    double v = 0.0;
+    for (const std::uint64_t* c : s.counters)
+        v += static_cast<double>(*c);
+    for (const auto& p : s.probes)
+        v += p();
+    return v;
+}
+
+void
+Telemetry::tick()
+{
+    // Woken either at a window boundary (nextActivity) or spuriously by
+    // wakeAll() / full-tick mode: the guard makes both engine modes
+    // sample at exactly the same cycles.
+    const Cycle now = engine_.now();
+    if (now < next_sample_)
+        return;
+    closeWindow(now);
+    next_sample_ = now + window_cycles_;
+}
+
+Cycle
+Telemetry::nextActivity() const
+{
+    return next_sample_;
+}
+
+void
+Telemetry::closeWindow(Cycle end)
+{
+    if (end <= window_begin_)
+        return;
+    TelemetrySummary::Window w;
+    w.begin = window_begin_;
+    w.end = end;
+    w.values.resize(series_.size(), 0.0);
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        const double cur = sampleSeries(series_[i]);
+        w.values[i] = series_[i].level ? cur : cur - prev_sample_[i];
+        prev_sample_[i] = cur;
+    }
+    windows_.push_back(std::move(w));
+    window_begin_ = end;
+    if (windows_.size() >= cfg_.max_windows)
+        decimate();
+}
+
+void
+Telemetry::decimate()
+{
+    // Merge adjacent window pairs and double the width: counter deltas
+    // sum, level samples keep the later reading.
+    const std::size_t n = windows_.size();
+    std::vector<TelemetrySummary::Window> merged;
+    merged.reserve(cfg_.max_windows);
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+        TelemetrySummary::Window m = std::move(windows_[i]);
+        const TelemetrySummary::Window& b = windows_[i + 1];
+        m.end = b.end;
+        m.values.resize(series_.size(), 0.0);
+        for (std::size_t s = 0;
+             s < series_.size() && s < b.values.size(); ++s) {
+            if (series_[s].level)
+                m.values[s] = b.values[s];
+            else
+                m.values[s] += b.values[s];
+        }
+        merged.push_back(std::move(m));
+    }
+    if (n % 2 != 0)
+        merged.push_back(std::move(windows_.back()));
+    windows_ = std::move(merged);
+    window_cycles_ *= 2;
+}
+
+std::shared_ptr<const TelemetrySummary>
+Telemetry::finalize()
+{
+    if (finalized_)
+        return summary_;
+    const Cycle now = engine_.now();
+    closeWindow(now);
+    endPhase();
+
+    auto s = std::make_shared<TelemetrySummary>();
+    s->label = cfg_.label;
+    s->total_cycles = now;
+    s->window_cycles = window_cycles_;
+    s->series.reserve(series_.size());
+    for (const Series& ser : series_) {
+        s->series.push_back(ser.name);
+        s->series_is_level.push_back(ser.level);
+        s->series_totals.push_back(sampleSeries(ser));
+    }
+    s->windows = std::move(windows_);
+
+    const std::vector<std::uint64_t> totals = stallSnapshot();
+    s->stalls.reserve(stall_keys_.size());
+    for (std::size_t i = 0; i < stall_keys_.size(); ++i)
+        s->stalls.push_back(TelemetrySummary::StallTotal{
+            stall_keys_[i].group, stall_keys_[i].cause, totals[i]});
+
+    for (const PhaseRecord& rec : phases_) {
+        TelemetrySummary::PhaseSummary ph;
+        ph.name = rec.name;
+        ph.begin = rec.begin;
+        ph.end = rec.end == kCycleNever ? now : rec.end;
+        ph.stalls.resize(stall_keys_.size(), 0);
+        for (std::size_t i = 0; i < stall_keys_.size(); ++i) {
+            const std::uint64_t b = i < rec.stalls_at_begin.size()
+                                        ? rec.stalls_at_begin[i]
+                                        : 0;
+            const std::uint64_t e =
+                i < rec.stalls_at_end.size() ? rec.stalls_at_end[i] : b;
+            ph.stalls[i] = e >= b ? e - b : 0;
+        }
+        s->phases.push_back(std::move(ph));
+    }
+
+    for (const auto& probe : probes_) {
+        probe->finalize(now);
+        TelemetrySummary::QueueSummary q;
+        q.name = probe->name();
+        q.capacity = probe->capacity();
+        q.high_water = probe->highWater();
+        q.time_at_full = probe->timeAtFull();
+        q.avg_depth = probe->avgDepth();
+        q.cycles_at_depth = probe->cyclesAtDepth();
+        s->queues.push_back(std::move(q));
+    }
+
+    finalized_ = true;
+    summary_ = std::move(s);
+    return summary_;
+}
+
+} // namespace gmoms

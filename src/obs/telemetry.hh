@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Telemetry subsystem: cycle-windowed time series, stall attribution
+ * and queue-occupancy collection for one simulation.
+ *
+ * A Telemetry instance is owned by the Accelerator of a single run (the
+ * parallel sweep runner stays re-entrant: no globals, no sharing) and
+ * is only constructed when AccelConfig::telemetry.enabled is set — with
+ * telemetry off the simulator carries no sampler component and the only
+ * residual cost is a null-pointer test on queue push/pop (verified by
+ * bench_engine).
+ *
+ * Three collection mechanisms, all exact under the idle-aware engine:
+ *
+ *  - The *sampler* is a Component whose nextActivity() is the next
+ *    window boundary, so the wake calendar never fast-forwards past a
+ *    sample point; its tick() guard (`now < next boundary` => no-op)
+ *    makes full-tick and idle-aware runs sample at identical cycles.
+ *    Sampling only reads counters — it can never perturb results.
+ *
+ *  - *Stall channels* reuse counters that components already increment
+ *    on ticks that occur in both engine modes (the quiescence contract
+ *    guarantees skipped ticks change no statistics), tagged with a
+ *    StallCause for attribution.
+ *
+ *  - *Queue probes* (src/sim/queue_probe.hh) are event-driven depth
+ *    histograms fed from TimedQueue/RingDeque push/pop.
+ *
+ * The windowed series live in a bounded buffer with *decimation*: when
+ * the buffer fills, adjacent windows merge and the window width doubles
+ * — full-run coverage at bounded memory, and deterministic in cycle
+ * space (independent of engine mode).
+ */
+
+#ifndef GMOMS_OBS_TELEMETRY_HH
+#define GMOMS_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.hh"
+#include "src/sim/queue_probe.hh"
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+/**
+ * Why a component wasted a cycle (or a slot of one). The first seven
+ * are the taxonomy of the paper's contention points; the last two cover
+ * the PE gather pipeline's own hazards.
+ */
+enum class StallCause : std::uint8_t
+{
+    UpstreamEmpty = 0,       //!< nothing to do: starved by the producer
+    DownstreamBackpressure,  //!< output queue/port full
+    BankConflict,            //!< crossbar: bank already claimed this cycle
+    MshrFull,                //!< MSHR insert failed (capacity/cuckoo)
+    SubentryFull,            //!< subentry pool or per-miss cap exhausted
+    RowMiss,                 //!< DRAM row-buffer miss penalty cycles
+    CrossingCredit,          //!< die-crossing queue out of credits
+    RawHazard,               //!< gather pipeline read-after-write stall
+    ThreadSlotsFull,         //!< PE out of thread (miss-tag) slots
+};
+
+inline constexpr std::size_t kNumStallCauses = 9;
+
+/** Stable kebab-case name, e.g. "bank-conflict". */
+const char* stallCauseName(StallCause cause);
+
+/** Sampling configuration carried inside AccelConfig. */
+struct TelemetryConfig
+{
+    bool enabled = false;
+    /** Initial sampling window width; doubles whenever the window
+     *  buffer fills (decimation), so long runs stay bounded. */
+    Cycle window_cycles = 4096;
+    /** Window-buffer capacity (rounded down to even, min 2). */
+    std::size_t max_windows = 256;
+    /** Run label used for trace process naming and reports. */
+    std::string label;
+};
+
+/**
+ * Immutable result of one instrumented run, materialized by
+ * Telemetry::finalize() while all components are still alive — safe to
+ * keep, print and export long after the Accelerator is gone.
+ */
+struct TelemetrySummary
+{
+    struct Window
+    {
+        Cycle begin = 0;
+        Cycle end = 0;
+        /** Per-series value: window delta for counter series (a rate),
+         *  instantaneous end-of-window sample for level series. */
+        std::vector<double> values;
+    };
+
+    struct StallTotal
+    {
+        std::string group;  //!< e.g. "pe", "moms.xbar", "dram"
+        StallCause cause = StallCause::UpstreamEmpty;
+        std::uint64_t cycles = 0;
+    };
+
+    struct PhaseSummary
+    {
+        std::string name;
+        Cycle begin = 0;
+        Cycle end = 0;
+        /** Stall cycles accumulated within the phase, indexed like
+         *  TelemetrySummary::stalls. */
+        std::vector<std::uint64_t> stalls;
+    };
+
+    struct QueueSummary
+    {
+        std::string name;
+        std::size_t capacity = 0;  //!< 0 = growable (no fixed "full")
+        std::size_t high_water = 0;
+        Cycle time_at_full = 0;
+        double avg_depth = 0;
+        std::vector<Cycle> cycles_at_depth;
+    };
+
+    std::string label;
+    Cycle total_cycles = 0;
+    Cycle window_cycles = 0;  //!< final effective window width
+    std::vector<std::string> series;
+    std::vector<bool> series_is_level;
+    /** Final cumulative counter value (or last level sample). */
+    std::vector<double> series_totals;
+    std::vector<Window> windows;
+    /** One entry per registered (group, cause) pair. */
+    std::vector<StallTotal> stalls;
+    std::vector<PhaseSummary> phases;
+    std::vector<QueueSummary> queues;
+
+    /** Final value of @p series_name; 0 when not registered. */
+    double total(const std::string& series_name) const;
+
+    /** Stall cycles for @p cause, restricted to @p group when
+     *  non-empty. */
+    std::uint64_t stallCycles(const std::string& group,
+                              StallCause cause) const;
+
+    /** Sum of every attributed stall cycle. */
+    std::uint64_t totalStallCycles() const;
+
+    /** Share (0..1) of @p cause among all attributed stall cycles
+     *  across groups; 0 when nothing stalled. */
+    double stallShare(StallCause cause) const;
+
+    /** Heaviest (group, cause) entry; null when nothing stalled. */
+    const StallTotal* topStall() const;
+};
+
+/** Multi-line human-readable report naming the limiting resource per
+ *  phase and overall (top stall causes, hot queues). */
+std::string bottleneckReport(const TelemetrySummary& summary);
+
+/**
+ * The per-run collector. Components register their counters, stall
+ * channels and queues right after construction (see the
+ * registerTelemetry() methods); the Accelerator brackets iterations
+ * with beginPhase()/endPhase() and calls finalize() at the end of
+ * run().
+ */
+class Telemetry : public Component
+{
+  public:
+    /** Registers itself with @p engine as the sampler component. */
+    Telemetry(Engine& engine, const TelemetryConfig& cfg);
+    ~Telemetry() override;
+
+    // -- registration (before the run starts) ---------------------------
+    /** Add @p src to counter series @p series (multiple sources sum). */
+    void addCounter(const std::string& series, const std::uint64_t* src);
+
+    /** Add an instantaneous gauge to level series @p series (multiple
+     *  probes sum; sampled at each window close). */
+    void addLevel(const std::string& series,
+                  std::function<double()> probe);
+
+    /**
+     * Register @p src as stall cycles of @p cause in @p group. Also
+     * feeds the counter series "stall.<group>.<cause-name>" so stalls
+     * appear in the windowed views and the exported trace.
+     */
+    void addStall(const std::string& group, StallCause cause,
+                  const std::uint64_t* src);
+
+    /** Create (and own) a queue probe; attach the returned pointer to a
+     *  TimedQueue/RingDeque. @p capacity 0 = growable. */
+    QueueProbe* makeQueueProbe(std::string name, std::size_t capacity);
+
+    // -- phases ---------------------------------------------------------
+    /** Start a named phase (implicitly ends the previous one). */
+    void beginPhase(std::string name);
+    void endPhase();
+
+    // -- engine integration ---------------------------------------------
+    void tick() override;
+    Cycle nextActivity() const override;
+
+    /** Close the books and build the immutable summary; idempotent.
+     *  Must be called while the instrumented components are alive. */
+    std::shared_ptr<const TelemetrySummary> finalize();
+
+  private:
+    struct Series
+    {
+        std::string name;
+        bool level = false;
+        std::vector<const std::uint64_t*> counters;
+        std::vector<std::function<double()>> probes;
+    };
+
+    struct StallKey
+    {
+        std::string group;
+        StallCause cause = StallCause::UpstreamEmpty;
+    };
+
+    struct StallChannel
+    {
+        std::size_t key = 0;  //!< index into stall_keys_
+        const std::uint64_t* src = nullptr;
+    };
+
+    struct PhaseRecord
+    {
+        std::string name;
+        Cycle begin = 0;
+        Cycle end = kCycleNever;
+        std::vector<std::uint64_t> stalls_at_begin;
+        std::vector<std::uint64_t> stalls_at_end;
+    };
+
+    std::size_t seriesIndex(const std::string& name, bool level);
+    double sampleSeries(const Series& s) const;
+    /** Current per-key stall totals (sum of channels). */
+    std::vector<std::uint64_t> stallSnapshot() const;
+    void closeWindow(Cycle end);
+    void decimate();
+
+    Engine& engine_;
+    TelemetryConfig cfg_;
+    Cycle window_cycles_;       //!< current width (doubles on decimate)
+    Cycle window_begin_ = 0;
+    Cycle next_sample_ = 0;
+    std::vector<Series> series_;
+    std::vector<double> prev_sample_;
+    std::vector<StallKey> stall_keys_;
+    std::vector<StallChannel> stall_channels_;
+    std::vector<PhaseRecord> phases_;
+    std::vector<TelemetrySummary::Window> windows_;
+    std::vector<std::unique_ptr<QueueProbe>> probes_;
+    bool finalized_ = false;
+    std::shared_ptr<const TelemetrySummary> summary_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_OBS_TELEMETRY_HH

@@ -1,0 +1,128 @@
+#include "src/obs/trace_export.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/report.hh"
+
+namespace gmoms
+{
+
+namespace
+{
+
+/** args sub-object {"name": <value>} for metadata events. */
+JsonReport::Raw
+nameArgs(const std::string& name)
+{
+    JsonReport args;
+    args.set("name", name);
+    return JsonReport::Raw{args.str()};
+}
+
+/** Counter values round-trip better as integers when they are ones. */
+JsonReport::Value
+numberValue(double v)
+{
+    if (v >= 0 && v < 9.007199254740992e15 && std::nearbyint(v) == v)
+        return static_cast<std::uint64_t>(v);
+    return v;
+}
+
+void
+writeEvent(std::ostream& os, bool& first, const JsonReport& event)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    event.write(os);
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream& os,
+                 const std::vector<TelemetrySummaryPtr>& runs)
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        if (runs[r] == nullptr)
+            continue;
+        const TelemetrySummary& run = *runs[r];
+        const std::uint64_t pid = r + 1;
+
+        {
+            JsonReport meta;
+            meta.set("name", std::string("process_name"))
+                .set("ph", std::string("M"))
+                .set("pid", pid)
+                .set("tid", std::uint64_t{0})
+                .set("args", nameArgs(run.label.empty()
+                                          ? "run " + std::to_string(pid)
+                                          : run.label));
+            writeEvent(os, first, meta);
+        }
+
+        for (const auto& phase : run.phases) {
+            JsonReport ev;
+            ev.set("name", phase.name)
+                .set("ph", std::string("X"))
+                .set("cat", std::string("phase"))
+                .set("pid", pid)
+                .set("tid", std::uint64_t{0})
+                .set("ts", static_cast<std::uint64_t>(phase.begin))
+                .set("dur", static_cast<std::uint64_t>(
+                                phase.end - phase.begin));
+            writeEvent(os, first, ev);
+        }
+
+        for (std::size_t s = 0; s < run.series.size(); ++s) {
+            bool any = false;
+            for (const auto& w : run.windows)
+                if (s < w.values.size() && w.values[s] != 0.0) {
+                    any = true;
+                    break;
+                }
+            if (!any)
+                continue;
+            for (const auto& w : run.windows) {
+                JsonReport args;
+                args.set("value",
+                         numberValue(s < w.values.size() ? w.values[s]
+                                                         : 0.0));
+                JsonReport ev;
+                ev.set("name", run.series[s])
+                    .set("ph", std::string("C"))
+                    .set("pid", pid)
+                    .set("ts", static_cast<std::uint64_t>(w.begin))
+                    .set("args", JsonReport::Raw{args.str()});
+                writeEvent(os, first, ev);
+            }
+        }
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+          "{\"tool\":\"gmoms\",\"time_unit\":\"1 cycle = 1 us\"}}\n";
+}
+
+std::string
+chromeTraceString(const std::vector<TelemetrySummaryPtr>& runs)
+{
+    std::ostringstream ss;
+    writeChromeTrace(ss, runs);
+    return ss.str();
+}
+
+bool
+writeChromeTraceFile(const std::string& path,
+                     const std::vector<TelemetrySummaryPtr>& runs)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeChromeTrace(os, runs);
+    return os.good();
+}
+
+} // namespace gmoms

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) export of telemetry summaries.
+ *
+ * One JSON object with a "traceEvents" array, per the Trace Event
+ * Format. Mapping: 1 simulated cycle = 1 trace microsecond; each run
+ * (TelemetrySummary) becomes one process (pid = run index + 1) named by
+ * its label via a metadata event; simulation phases become duration
+ * ("X") events; every windowed series becomes a counter ("C") track
+ * whose value is the per-window delta (a rate) for counter series and
+ * the end-of-window sample for level series. All-zero series are
+ * elided to keep multi-run sweep traces loadable.
+ *
+ * Open the produced file at https://ui.perfetto.dev (or
+ * chrome://tracing); see EXPERIMENTS.md for a walkthrough.
+ */
+
+#ifndef GMOMS_OBS_TRACE_EXPORT_HH
+#define GMOMS_OBS_TRACE_EXPORT_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/telemetry.hh"
+
+namespace gmoms
+{
+
+using TelemetrySummaryPtr = std::shared_ptr<const TelemetrySummary>;
+
+/** Write all @p runs as one Chrome trace-event JSON document. */
+void writeChromeTrace(std::ostream& os,
+                      const std::vector<TelemetrySummaryPtr>& runs);
+
+/** writeChromeTrace into a string (tests, small traces). */
+std::string chromeTraceString(
+    const std::vector<TelemetrySummaryPtr>& runs);
+
+/** Write the trace to @p path; returns false when the file cannot be
+ *  opened (the caller reports the path). */
+bool writeChromeTraceFile(const std::string& path,
+                          const std::vector<TelemetrySummaryPtr>& runs);
+
+} // namespace gmoms
+
+#endif // GMOMS_OBS_TRACE_EXPORT_HH

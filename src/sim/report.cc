@@ -1,6 +1,7 @@
 #include "src/sim/report.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace gmoms
@@ -16,7 +17,21 @@ JsonReport::writeEscaped(std::ostream& os, const std::string& s)
           case '\\': os << "\\\\"; break;
           case '\n': os << "\\n"; break;
           case '\t': os << "\\t"; break;
-          default: os << c;
+          case '\r': os << "\\r"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // Remaining control characters are invalid raw in JSON
+                // strings; emit the generic escape.
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
         }
     }
     os << '"';
@@ -42,6 +57,8 @@ JsonReport::write(std::ostream& os) const
                 os << "null";
         } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
             os << *u;
+        } else if (const auto* r = std::get_if<Raw>(&value)) {
+            os << r->json;
         } else {
             os << (std::get<bool>(value) ? "true" : "false");
         }

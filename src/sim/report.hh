@@ -40,11 +40,22 @@ class WallTimer
     std::chrono::steady_clock::time_point start_;
 };
 
-/** A flat JSON-object builder (string/number/bool leaves only). */
+/** A flat JSON-object builder (string/number/bool leaves, plus
+ *  pre-serialized Raw values for nesting sub-objects). */
 class JsonReport
 {
   public:
-    using Value = std::variant<std::string, double, std::uint64_t, bool>;
+    /** A pre-serialized JSON fragment emitted verbatim as the value —
+     *  the caller guarantees it is itself valid JSON (e.g. another
+     *  JsonReport's str()). Lets flat reports nest sub-objects, which
+     *  the Chrome trace exporter uses for per-event "args". */
+    struct Raw
+    {
+        std::string json;
+    };
+
+    using Value =
+        std::variant<std::string, double, std::uint64_t, bool, Raw>;
 
     JsonReport& set(const std::string& key, Value value)
     {
@@ -57,9 +68,11 @@ class JsonReport
 
     std::string str() const;
 
-  private:
+    /** Write @p s as a JSON string literal (quotes, backslashes and
+     *  all control characters escaped). */
     static void writeEscaped(std::ostream& os, const std::string& s);
 
+  private:
     std::vector<std::pair<std::string, Value>> entries_;
 };
 

@@ -20,6 +20,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/engine.hh"
+#include "src/sim/queue_probe.hh"
+
 namespace gmoms
 {
 
@@ -35,6 +38,19 @@ class RingDeque
     bool empty() const { return size_ == 0; }
     std::size_t size() const { return size_; }
     std::size_t capacity() const { return ring_.size(); }
+
+    /** Attach an occupancy probe (telemetry). RingDeques have no
+     *  engine of their own, so the clock is supplied here; both the
+     *  probe and the engine must outlive the deque or be detached
+     *  (nullptr) first. */
+    void
+    attachProbe(QueueProbe* probe, const Engine* engine)
+    {
+        probe_ = probe;
+        probe_engine_ = engine;
+        if (probe_)
+            probe_->onChange(probe_engine_->now(), size_);
+    }
 
     T&
     front()
@@ -86,6 +102,8 @@ class RingDeque
             grow();
         ring_[wrap(head_ + size_)] = std::move(item);
         ++size_;
+        if (probe_)
+            probe_->onChange(probe_engine_->now(), size_);
     }
 
     template <typename... Args>
@@ -102,6 +120,8 @@ class RingDeque
         ring_[head_] = T{};  // release payload resources, if any
         head_ = wrap(head_ + 1);
         --size_;
+        if (probe_)
+            probe_->onChange(probe_engine_->now(), size_);
     }
 
     void
@@ -111,6 +131,8 @@ class RingDeque
             ring_[wrap(head_ + i)] = T{};
         head_ = 0;
         size_ = 0;
+        if (probe_)
+            probe_->onChange(probe_engine_->now(), size_);
     }
 
   private:
@@ -141,6 +163,8 @@ class RingDeque
     std::vector<T> ring_;
     std::size_t head_ = 0;
     std::size_t size_ = 0;
+    QueueProbe* probe_ = nullptr;
+    const Engine* probe_engine_ = nullptr;
 };
 
 } // namespace gmoms

@@ -5,6 +5,15 @@
  * Components own plain uint64_t / double counters and register them by
  * name; the registry can render all counters as a table or export a flat
  * map. Lookup by dotted path supports test assertions.
+ *
+ * Registrations are raw pointers, so a component that dies before the
+ * registry would leave dump()/value() reading freed memory. Components
+ * therefore hold a StatRegistry::Eraser (obtained via scopedPrefix())
+ * that removes their entries on destruction. The eraser holds a weak
+ * reference to the registry's shared map, so it is safe in *both*
+ * destruction orders: registry-first (the eraser quietly does nothing)
+ * and component-first (the entries are unregistered before the pointers
+ * dangle).
  */
 
 #ifndef GMOMS_SIM_STATS_HH
@@ -12,8 +21,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <variant>
 
 namespace gmoms
@@ -21,57 +33,176 @@ namespace gmoms
 
 class StatRegistry
 {
+  private:
+    using Entry = std::variant<const std::uint64_t*, const double*>;
+    struct Core
+    {
+        std::map<std::string, Entry> stats;
+    };
+
   public:
+    StatRegistry() : core_(std::make_shared<Core>()) {}
+
+    /**
+     * RAII unregistration handle: on destruction (or re-assignment)
+     * removes every path starting with its prefix, if the registry is
+     * still alive. Default-constructed erasers are inert.
+     */
+    class Eraser
+    {
+      public:
+        Eraser() = default;
+        Eraser(Eraser&& other) noexcept
+            : core_(std::move(other.core_)),
+              prefix_(std::move(other.prefix_))
+        {
+            other.core_.reset();
+        }
+        Eraser&
+        operator=(Eraser&& other) noexcept
+        {
+            if (this != &other) {
+                release();
+                core_ = std::move(other.core_);
+                prefix_ = std::move(other.prefix_);
+                other.core_.reset();
+            }
+            return *this;
+        }
+        Eraser(const Eraser&) = delete;
+        Eraser& operator=(const Eraser&) = delete;
+        ~Eraser() { release(); }
+
+        /** Unregister now (idempotent; no-op if the registry died). */
+        void
+        release()
+        {
+            if (auto core = core_.lock())
+                erasePrefix(*core, prefix_);
+            core_.reset();
+        }
+
+      private:
+        Eraser(std::weak_ptr<Core> core, std::string prefix)
+            : core_(std::move(core)), prefix_(std::move(prefix))
+        {
+        }
+
+        std::weak_ptr<Core> core_;
+        std::string prefix_;
+
+        friend class StatRegistry;
+    };
+
     /** Register (or re-point) an integer counter under @p path. */
     void
     addCounter(const std::string& path, const std::uint64_t* counter)
     {
-        stats_[path] = counter;
+        core_->stats[path] = counter;
     }
 
     /** Register a floating-point gauge under @p path. */
     void
     addGauge(const std::string& path, const double* gauge)
     {
-        stats_[path] = gauge;
+        core_->stats[path] = gauge;
     }
 
-    /** Current value of a registered stat as double; 0 when missing. */
+    /**
+     * Current value of a registered stat as double; 0 when missing.
+     * Prefer tryValue()/valueOr() in assertions — the silent 0.0 here
+     * masks path typos.
+     */
     double
     value(const std::string& path) const
     {
-        auto it = stats_.find(path);
-        if (it == stats_.end())
-            return 0.0;
-        if (const auto* const* c = std::get_if<const std::uint64_t*>(
-                &it->second))
-            return static_cast<double>(**c);
-        return *std::get<const double*>(it->second);
+        return valueOr(path, 0.0);
     }
 
-    bool has(const std::string& path) const { return stats_.count(path); }
+    /** Current value, or nullopt when @p path is not registered. */
+    std::optional<double>
+    tryValue(const std::string& path) const
+    {
+        auto it = core_->stats.find(path);
+        if (it == core_->stats.end())
+            return std::nullopt;
+        return read(it->second);
+    }
+
+    /** Current value, or @p fallback when @p path is not registered. */
+    double
+    valueOr(const std::string& path, double fallback) const
+    {
+        const std::optional<double> v = tryValue(path);
+        return v ? *v : fallback;
+    }
+
+    bool
+    has(const std::string& path) const
+    {
+        return core_->stats.count(path) != 0;
+    }
+
+    /** Unregister one path; @return true when it existed. */
+    bool
+    remove(const std::string& path)
+    {
+        return core_->stats.erase(path) != 0;
+    }
+
+    /** Unregister every path starting with @p prefix; @return count. */
+    std::size_t
+    removePrefix(const std::string& prefix)
+    {
+        return erasePrefix(*core_, prefix);
+    }
+
+    /**
+     * Handle that unregisters every path starting with @p prefix when
+     * destroyed. Components arm one in registerStats() so their
+     * destruction never leaves dangling counter pointers behind.
+     */
+    Eraser
+    scopedPrefix(std::string prefix) const
+    {
+        return Eraser(core_, std::move(prefix));
+    }
 
     /** Dump all stats, sorted by path, one per line. */
     void
     dump(std::ostream& os) const
     {
-        for (const auto& [path, v] : stats_) {
-            os << path << " = ";
-            if (const auto* const* c =
-                    std::get_if<const std::uint64_t*>(&v)) {
-                os << **c;
-            } else {
-                os << *std::get<const double*>(v);
-            }
-            os << '\n';
-        }
+        for (const auto& [path, v] : core_->stats)
+            os << path << " = " << read(v) << '\n';
     }
 
-    std::size_t size() const { return stats_.size(); }
+    std::size_t size() const { return core_->stats.size(); }
 
   private:
-    using Entry = std::variant<const std::uint64_t*, const double*>;
-    std::map<std::string, Entry> stats_;
+    static double
+    read(const Entry& e)
+    {
+        if (const auto* const* c = std::get_if<const std::uint64_t*>(&e))
+            return static_cast<double>(**c);
+        return *std::get<const double*>(e);
+    }
+
+    static std::size_t
+    erasePrefix(Core& core, const std::string& prefix)
+    {
+        if (prefix.empty())
+            return 0;
+        auto it = core.stats.lower_bound(prefix);
+        std::size_t erased = 0;
+        while (it != core.stats.end() &&
+               it->first.compare(0, prefix.size(), prefix) == 0) {
+            it = core.stats.erase(it);
+            ++erased;
+        }
+        return erased;
+    }
+
+    std::shared_ptr<Core> core_;
 };
 
 } // namespace gmoms

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/sim/engine.hh"
+#include "src/sim/queue_probe.hh"
 #include "src/sim/types.hh"
 
 namespace gmoms
@@ -61,6 +62,16 @@ class TimedQueue
     /** Component woken when a pushed token becomes poppable. */
     void setConsumer(Component* c) { consumer_ = c; }
 
+    /** Attach an occupancy probe (telemetry); nullptr detaches. The
+     *  probe must outlive the queue or be detached first. */
+    void
+    attachProbe(QueueProbe* probe)
+    {
+        probe_ = probe;
+        if (probe_)
+            probe_->onChange(engine_->now(), size_);
+    }
+
     /** True if a push this cycle would be accepted. */
     bool canPush() const { return size_ < capacity_; }
 
@@ -80,6 +91,8 @@ class TimedQueue
         slot.item = std::move(item);
         slot.ready = engine_->now() + latency_;
         ++size_;
+        if (probe_)
+            probe_->onChange(engine_->now(), size_);
         Engine::wake(consumer_, slot.ready);
         return true;
     }
@@ -108,6 +121,8 @@ class TimedQueue
         T item = std::move(ring_[head_].item);
         head_ = wrap(head_ + 1);
         --size_;
+        if (probe_)
+            probe_->onChange(engine_->now(), size_);
         if (was_full)
             Engine::wake(producer_, engine_->now());
         return item;
@@ -144,6 +159,7 @@ class TimedQueue
     std::vector<Slot> ring_;
     Component* producer_ = nullptr;
     Component* consumer_ = nullptr;
+    QueueProbe* probe_ = nullptr;
     std::size_t head_ = 0;  //!< index of the oldest token
     std::size_t size_ = 0;
 };

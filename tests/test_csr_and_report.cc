@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/graph/csr.hh"
 #include "src/graph/generator.hh"
+#include "src/obs/json_check.hh"
 #include "src/sim/report.hh"
 
 namespace gmoms
@@ -94,6 +98,70 @@ TEST(JsonReport, NonFiniteNumbersBecomeNull)
     JsonReport r;
     r.set("bad", std::numeric_limits<double>::infinity());
     EXPECT_EQ(r.str(), "{\"bad\":null}");
+    JsonReport n;
+    n.set("nan", std::nan(""));
+    EXPECT_EQ(n.str(), "{\"nan\":null}");
+}
+
+TEST(JsonReport, EscapesControlCharacters)
+{
+    JsonReport r;
+    r.set("msg", std::string("cr\r bs\b ff\f nul") +
+                     std::string(1, '\0') + "esc\x1b!");
+    EXPECT_EQ(r.str(),
+              "{\"msg\":\"cr\\r bs\\b ff\\f nul\\u0000esc\\u001b!\"}");
+}
+
+TEST(JsonReport, EscapedOutputParsesBack)
+{
+    // Round-trip through the strict parser: every byte below 0x20 plus
+    // the quote/backslash cases must come back intact.
+    std::string nasty = "q\" b\\ nl\n tab\t cr\r";
+    for (int c = 0; c < 0x20; ++c)
+        nasty.push_back(static_cast<char>(c));
+    JsonReport r;
+    r.set("k", nasty);
+    std::string error;
+    const auto parsed = parseJson(r.str(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    const JsonValue* v = parsed->find("k");
+    ASSERT_NE(v, nullptr);
+    ASSERT_TRUE(v->isString());
+    EXPECT_EQ(v->string, nasty);
+}
+
+TEST(JsonReport, BenchRecordRoundTrips)
+{
+    // The shape bench binaries emit (arch_explorer --json / the
+    // BENCH_engine.json payload) must parse back with types intact.
+    JsonReport r;
+    r.set("design", std::string("16/16 two-level"))
+        .set("gteps", 1.25)
+        .set("cycles", std::uint64_t{123456789})
+        .set("discarded", false)
+        .set("nested", JsonReport::Raw{"{\"value\":42}"});
+    std::string error;
+    const auto parsed = parseJson(r.str(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_TRUE(parsed->isObject());
+    EXPECT_EQ(parsed->find("design")->string, "16/16 two-level");
+    EXPECT_DOUBLE_EQ(parsed->find("gteps")->number, 1.25);
+    EXPECT_DOUBLE_EQ(parsed->find("cycles")->number, 123456789.0);
+    ASSERT_NE(parsed->find("discarded"), nullptr);
+    EXPECT_FALSE(parsed->find("discarded")->boolean);
+    const JsonValue* nested = parsed->find("nested");
+    ASSERT_NE(nested, nullptr);
+    ASSERT_TRUE(nested->isObject());
+    EXPECT_DOUBLE_EQ(nested->find("value")->number, 42.0);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(parseJson("{\"a\":}").has_value());
+    EXPECT_FALSE(parseJson("{\"a\":1,}").has_value());
+    EXPECT_FALSE(parseJson("{} trailing").has_value());
+    EXPECT_FALSE(parseJson("\"raw\tcontrol\"").has_value());
+    EXPECT_TRUE(parseJson("{\"a\":[1,2,{\"b\":null}]}").has_value());
 }
 
 } // namespace

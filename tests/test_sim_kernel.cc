@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/sim/engine.hh"
 #include "src/sim/rng.hh"
 #include "src/sim/stats.hh"
@@ -167,10 +169,71 @@ TEST(StatRegistry, RegistersAndReads)
     reg.addGauge("a.b.gauge", &g);
     EXPECT_TRUE(reg.has("a.b.count"));
     EXPECT_FALSE(reg.has("missing"));
-    EXPECT_DOUBLE_EQ(reg.value("a.b.count"), 42.0);
-    EXPECT_DOUBLE_EQ(reg.value("a.b.gauge"), 2.5);
+    ASSERT_TRUE(reg.tryValue("a.b.count").has_value());
+    EXPECT_DOUBLE_EQ(*reg.tryValue("a.b.count"), 42.0);
+    EXPECT_DOUBLE_EQ(*reg.tryValue("a.b.gauge"), 2.5);
     c = 43;
-    EXPECT_DOUBLE_EQ(reg.value("a.b.count"), 43.0);
+    EXPECT_DOUBLE_EQ(*reg.tryValue("a.b.count"), 43.0);
+}
+
+TEST(StatRegistry, StrictLookupsDistinguishMissingFromZero)
+{
+    StatRegistry reg;
+    std::uint64_t zero = 0;
+    reg.addCounter("present.zero", &zero);
+    EXPECT_TRUE(reg.tryValue("present.zero").has_value());
+    EXPECT_FALSE(reg.tryValue("absent").has_value());
+    EXPECT_DOUBLE_EQ(reg.valueOr("present.zero", -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(reg.valueOr("absent", -1.0), -1.0);
+    // The legacy lookup keeps its silent-zero contract.
+    EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+}
+
+TEST(StatRegistry, RemoveAndRemovePrefix)
+{
+    StatRegistry reg;
+    std::uint64_t a = 1, b = 2, c = 3;
+    reg.addCounter("pe0.edges", &a);
+    reg.addCounter("pe0.jobs", &b);
+    reg.addCounter("pe1.edges", &c);
+    EXPECT_TRUE(reg.remove("pe0.jobs"));
+    EXPECT_FALSE(reg.remove("pe0.jobs"));
+    EXPECT_EQ(reg.removePrefix("pe0."), 1u);
+    EXPECT_FALSE(reg.has("pe0.edges"));
+    EXPECT_TRUE(reg.has("pe1.edges"));
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(StatRegistry, EraserUnregistersWhenComponentDiesFirst)
+{
+    StatRegistry reg;
+    {
+        std::uint64_t doomed = 7;
+        StatRegistry::Eraser eraser = reg.scopedPrefix("tmp.");
+        reg.addCounter("tmp.count", &doomed);
+        EXPECT_TRUE(reg.has("tmp.count"));
+        // eraser and doomed leave scope together: the entry must go
+        // before the pointer dangles.
+    }
+    EXPECT_FALSE(reg.has("tmp.count"));
+    EXPECT_EQ(reg.size(), 0u);
+    // dump() over the now-empty registry must not touch freed memory
+    // (run under ASan in CI).
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(StatRegistry, EraserSafeWhenRegistryDiesFirst)
+{
+    std::uint64_t counter = 1;
+    StatRegistry::Eraser survivor;
+    {
+        StatRegistry reg;
+        reg.addCounter("x.count", &counter);
+        survivor = reg.scopedPrefix("x.");
+    }
+    survivor.release();  // registry is gone: must be a quiet no-op
 }
 
 TEST(Types, AlignmentHelpers)

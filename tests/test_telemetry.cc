@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Telemetry subsystem tests: sampler windowing and decimation, stall
+ * attribution exactness across engine modes, observation-only contract
+ * (telemetry on/off bit-exactness), queue probes, and the Chrome
+ * trace-event export (validated with the strict JSON parser).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/accel/accelerator.hh"
+#include "src/graph/generator.hh"
+#include "src/obs/json_check.hh"
+#include "src/obs/telemetry.hh"
+#include "src/obs/trace_export.hh"
+#include "src/sim/queue_probe.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// QueueProbe
+// ---------------------------------------------------------------------
+
+TEST(QueueProbe, TimeWeightedDepthHistogram)
+{
+    QueueProbe probe("q", 4);
+    // Depth 0 for cycles [0,10), 1 for [10,14), 4 (full) for [14,20).
+    probe.onChange(10, 1);
+    probe.onChange(14, 4);
+    probe.finalize(20);
+    EXPECT_EQ(probe.highWater(), 4u);
+    ASSERT_GE(probe.cyclesAtDepth().size(), 5u);
+    EXPECT_EQ(probe.cyclesAtDepth()[0], 10u);
+    EXPECT_EQ(probe.cyclesAtDepth()[1], 4u);
+    EXPECT_EQ(probe.cyclesAtDepth()[4], 6u);
+    EXPECT_EQ(probe.timeAtFull(), 6u);
+    EXPECT_NEAR(probe.avgDepth(), (10 * 0 + 4 * 1 + 6 * 4) / 20.0,
+                1e-12);
+    // finalize() is idempotent.
+    probe.finalize(20);
+    EXPECT_EQ(probe.cyclesAtDepth()[4], 6u);
+}
+
+TEST(QueueProbe, SameCycleChangesCollapse)
+{
+    QueueProbe probe("q", 0);  // growable: no fixed capacity
+    probe.onChange(5, 1);
+    probe.onChange(5, 2);  // push+push within one cycle
+    probe.onChange(5, 1);  // and a pop: only the last size persists
+    probe.finalize(9);
+    EXPECT_EQ(probe.cyclesAtDepth()[0], 5u);
+    EXPECT_EQ(probe.cyclesAtDepth()[1], 4u);
+    EXPECT_EQ(probe.timeAtFull(), 0u);  // growable: "full" undefined
+    EXPECT_EQ(probe.highWater(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Sampler: windows, decimation
+// ---------------------------------------------------------------------
+
+/** A component that bumps a counter on every tick. */
+class Worker : public Component
+{
+  public:
+    Worker() : Component("worker") {}
+    void tick() override { ++work; }
+    std::uint64_t work = 0;
+};
+
+TEST(Telemetry, WindowDeltasSumToCounterTotal)
+{
+    Engine eng;
+    Worker w;
+    eng.add(&w);
+    TelemetryConfig cfg;
+    cfg.enabled = true;
+    cfg.window_cycles = 16;
+    Telemetry tele(eng, cfg);
+    tele.addCounter("work", &w.work);
+    for (int i = 0; i < 100; ++i)
+        eng.tick();
+    auto s = tele.finalize();
+    ASSERT_EQ(s->series.size(), 1u);
+    EXPECT_EQ(s->series[0], "work");
+    EXPECT_DOUBLE_EQ(s->series_totals[0], 100.0);
+    EXPECT_DOUBLE_EQ(s->total("work"), 100.0);
+    double sum = 0;
+    Cycle prev_end = 0;
+    for (const auto& win : s->windows) {
+        EXPECT_EQ(win.begin, prev_end);  // contiguous coverage
+        prev_end = win.end;
+        sum += win.values[0];
+    }
+    EXPECT_EQ(prev_end, 100u);  // last (partial) window closes at end
+    EXPECT_DOUBLE_EQ(sum, 100.0);
+}
+
+TEST(Telemetry, DecimationBoundsWindowsAndPreservesSums)
+{
+    Engine eng;
+    Worker w;
+    eng.add(&w);
+    TelemetryConfig cfg;
+    cfg.enabled = true;
+    cfg.window_cycles = 4;
+    cfg.max_windows = 8;
+    Telemetry tele(eng, cfg);
+    tele.addCounter("work", &w.work);
+    for (int i = 0; i < 1000; ++i)
+        eng.tick();
+    auto s = tele.finalize();
+    EXPECT_LE(s->windows.size(), 8u);
+    EXPECT_GT(s->window_cycles, 4u);  // width doubled at least once
+    double sum = 0;
+    for (const auto& win : s->windows)
+        sum += win.values[0];
+    EXPECT_DOUBLE_EQ(sum, 1000.0);
+    EXPECT_EQ(s->total_cycles, 1000u);
+}
+
+TEST(Telemetry, LevelSeriesSampleInstantaneousValues)
+{
+    Engine eng;
+    TelemetryConfig cfg;
+    cfg.enabled = true;
+    cfg.window_cycles = 10;
+    // Registered before the worker so the boundary sample reads the
+    // value as of the window close, before this cycle's work.
+    Telemetry tele(eng, cfg);
+    Worker w;
+    eng.add(&w);
+    // The level tracks the worker's cumulative count: each window must
+    // record the value at its close, not a delta.
+    tele.addLevel("level", [&] {
+        return static_cast<double>(w.work);
+    });
+    for (int i = 0; i < 35; ++i)
+        eng.tick();
+    auto s = tele.finalize();
+    ASSERT_GE(s->windows.size(), 3u);
+    EXPECT_DOUBLE_EQ(s->windows[0].values[0], 10.0);
+    EXPECT_DOUBLE_EQ(s->windows[1].values[0], 20.0);
+    EXPECT_DOUBLE_EQ(s->windows[2].values[0], 30.0);
+}
+
+// ---------------------------------------------------------------------
+// Whole-accelerator contracts
+// ---------------------------------------------------------------------
+
+AccelConfig
+smallConfig(MomsConfig moms)
+{
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.num_channels = 2;
+    cfg.moms = moms;
+    cfg.moms.shared_bank.num_mshrs = 128;
+    cfg.moms.shared_bank.num_subentries = 2048;
+    cfg.moms.shared_bank.cache_bytes = 8192;
+    cfg.moms.private_bank.num_mshrs = 128;
+    cfg.moms.private_bank.num_subentries = 2048;
+    cfg.max_threads = 256;
+    return cfg;
+}
+
+RunResult
+runSmall(const CooGraph& g, AccelConfig cfg)
+{
+    AlgoSpec spec = AlgoSpec::scc(g.numNodes(), 4);
+    PartitionedGraph pg(g, 256, 512);
+    Accelerator accel(cfg, pg, spec);
+    return accel.run();
+}
+
+TEST(Telemetry, CollectionDoesNotPerturbResults)
+{
+    const CooGraph g = rmat(10, 6000, RmatParams{}, 42);
+    for (MomsConfig moms :
+         {MomsConfig::twoLevel(4), MomsConfig::shared(4),
+          MomsConfig::privateOnly()}) {
+        AccelConfig off = smallConfig(moms);
+        AccelConfig on = smallConfig(moms);
+        on.telemetry.enabled = true;
+        on.telemetry.window_cycles = 512;
+        const RunResult base = runSmall(g, off);
+        const RunResult instr = runSmall(g, on);
+        EXPECT_EQ(base.cycles, instr.cycles);
+        EXPECT_EQ(base.raw_values, instr.raw_values);
+        EXPECT_EQ(base.telemetry, nullptr);
+        ASSERT_NE(instr.telemetry, nullptr);
+        EXPECT_EQ(instr.telemetry->total_cycles, instr.cycles);
+    }
+}
+
+TEST(Telemetry, StallTotalsMatchAcrossEngineModes)
+{
+    const CooGraph g = rmat(10, 6000, RmatParams{}, 43);
+    AccelConfig idle = smallConfig(MomsConfig::twoLevel(4));
+    idle.telemetry.enabled = true;
+    AccelConfig full = idle;
+    full.full_tick_engine = true;
+    const RunResult i = runSmall(g, idle);
+    const RunResult f = runSmall(g, full);
+    ASSERT_NE(i.telemetry, nullptr);
+    ASSERT_NE(f.telemetry, nullptr);
+    EXPECT_EQ(i.cycles, f.cycles);
+    ASSERT_EQ(i.telemetry->stalls.size(), f.telemetry->stalls.size());
+    for (std::size_t k = 0; k < i.telemetry->stalls.size(); ++k) {
+        EXPECT_EQ(i.telemetry->stalls[k].group,
+                  f.telemetry->stalls[k].group);
+        EXPECT_EQ(i.telemetry->stalls[k].cause,
+                  f.telemetry->stalls[k].cause);
+        EXPECT_EQ(i.telemetry->stalls[k].cycles,
+                  f.telemetry->stalls[k].cycles)
+            << i.telemetry->stalls[k].group << "/"
+            << stallCauseName(i.telemetry->stalls[k].cause);
+    }
+    // Sampling happens at identical cycles in both modes.
+    ASSERT_EQ(i.telemetry->windows.size(),
+              f.telemetry->windows.size());
+    for (std::size_t wdx = 0; wdx < i.telemetry->windows.size(); ++wdx) {
+        EXPECT_EQ(i.telemetry->windows[wdx].begin,
+                  f.telemetry->windows[wdx].begin);
+        EXPECT_EQ(i.telemetry->windows[wdx].end,
+                  f.telemetry->windows[wdx].end);
+    }
+}
+
+TEST(Telemetry, AttributionCoversKnownContentionPoints)
+{
+    const CooGraph g = rmat(10, 6000, RmatParams{}, 44);
+    AccelConfig cfg = smallConfig(MomsConfig::shared(4));
+    cfg.telemetry.enabled = true;
+    const RunResult res = runSmall(g, cfg);
+    ASSERT_NE(res.telemetry, nullptr);
+    const TelemetrySummary& s = *res.telemetry;
+    // A shared MOMS on an RMAT graph must observe crossbar bank
+    // conflicts and DRAM row misses; phases must tile the run.
+    EXPECT_GT(s.stallCycles("moms.xbar", StallCause::BankConflict), 0u);
+    EXPECT_GT(s.stallCycles("dram", StallCause::RowMiss), 0u);
+    EXPECT_GT(s.totalStallCycles(), 0u);
+    ASSERT_NE(s.topStall(), nullptr);
+    ASSERT_FALSE(s.phases.empty());
+    EXPECT_EQ(s.phases.front().name, "iter0");
+    EXPECT_EQ(s.phases.back().name, "drain");
+    for (std::size_t p = 1; p < s.phases.size(); ++p)
+        EXPECT_EQ(s.phases[p].begin, s.phases[p - 1].end);
+    // Queue probes saw traffic.
+    ASSERT_FALSE(s.queues.empty());
+    bool any_nonempty = false;
+    for (const auto& q : s.queues)
+        any_nonempty |= q.high_water > 0;
+    EXPECT_TRUE(any_nonempty);
+    // The human-readable report names the heaviest cause.
+    const std::string report = bottleneckReport(s);
+    EXPECT_NE(report.find(stallCauseName(s.topStall()->cause)),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Trace export
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, ChromeTraceIsValidAndWellFormed)
+{
+    const CooGraph g = rmat(9, 3000, RmatParams{}, 45);
+    AccelConfig cfg = smallConfig(MomsConfig::twoLevel(4));
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.label = "trace-test";
+    const RunResult res = runSmall(g, cfg);
+    ASSERT_NE(res.telemetry, nullptr);
+
+    const std::string trace =
+        chromeTraceString({res.telemetry, nullptr, res.telemetry});
+    std::string error;
+    const auto parsed = parseJson(trace, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_TRUE(parsed->isObject());
+    const JsonValue* events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_FALSE(events->array.empty());
+
+    std::set<std::string> phs;
+    std::set<double> pids;
+    bool found_label = false;
+    for (const JsonValue& ev : events->array) {
+        ASSERT_TRUE(ev.isObject());
+        const JsonValue* ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        phs.insert(ph->string);
+        ASSERT_NE(ev.find("pid"), nullptr);
+        pids.insert(ev.find("pid")->number);
+        if (ph->string == "M") {
+            const JsonValue* args = ev.find("args");
+            ASSERT_NE(args, nullptr);
+            if (args->find("name") &&
+                args->find("name")->string == "trace-test")
+                found_label = true;
+        }
+        if (ph->string == "C") {
+            const JsonValue* args = ev.find("args");
+            ASSERT_NE(args, nullptr);
+            ASSERT_NE(args->find("value"), nullptr);
+            EXPECT_TRUE(args->find("value")->isNumber());
+        }
+        if (ph->string == "X") {
+            EXPECT_NE(ev.find("ts"), nullptr);
+            EXPECT_NE(ev.find("dur"), nullptr);
+        }
+    }
+    // Metadata, phase and counter events all present; the null run was
+    // skipped, so exactly pids 1 and 3 appear.
+    EXPECT_TRUE(phs.count("M"));
+    EXPECT_TRUE(phs.count("X"));
+    EXPECT_TRUE(phs.count("C"));
+    EXPECT_TRUE(found_label);
+    EXPECT_EQ(pids, (std::set<double>{1.0, 3.0}));
+}
+
+TEST(Telemetry, EmptyTraceIsStillValidJson)
+{
+    const std::string trace = chromeTraceString({});
+    std::string error;
+    const auto parsed = parseJson(trace, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    const JsonValue* events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_TRUE(events->array.empty());
+}
+
+} // namespace
+} // namespace gmoms
