@@ -33,11 +33,10 @@ main()
             jobs.push_back({crossing, traditional});
     const std::vector<RunOutcome> outcomes =
         sweep(jobs, [](const Job& j) {
-            AccelConfig cfg;
-            cfg.num_pes = 16;
-            cfg.num_channels = 4;
-            cfg.moms = j.traditional ? MomsConfig::traditionalTwoLevel(16)
-                                     : MomsConfig::twoLevel(16);
+            AccelConfig cfg = AccelConfig::preset(
+                j.traditional ? MomsConfig::traditionalTwoLevel(16)
+                              : MomsConfig::twoLevel(16),
+                /*pes=*/16);
             cfg.moms.crossing_latency = j.crossing;
             return runOn(*loadDataset("UK"), "SCC", cfg);
         });

@@ -36,10 +36,8 @@ main()
             jobs.push_back({tag, dynaburst});
     const std::vector<RunOutcome> outcomes =
         sweep(jobs, [](const Job& j) {
-            AccelConfig cfg;
-            cfg.num_pes = 16;
-            cfg.num_channels = 4;
-            cfg.moms = MomsConfig::twoLevel(16);
+            AccelConfig cfg =
+                AccelConfig::preset(MomsConfig::twoLevel(16), /*pes=*/16);
             cfg.moms.dynaburst = j.dynaburst;
             return runOn(*loadDataset(j.tag), "SCC", cfg);
         });

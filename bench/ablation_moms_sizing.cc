@@ -28,10 +28,8 @@ struct Sizing
 RunOutcome
 runWith(const CooGraph& g, const Sizing& s)
 {
-    AccelConfig cfg;
-    cfg.num_pes = 16;
-    cfg.num_channels = 4;
-    cfg.moms = MomsConfig::twoLevel(16).withoutCacheArrays();
+    AccelConfig cfg = AccelConfig::preset(
+        MomsConfig::twoLevel(16).withoutCacheArrays(), /*pes=*/16);
     for (MomsBankConfig* b :
          {&cfg.moms.shared_bank, &cfg.moms.private_bank}) {
         b->num_mshrs = s.mshrs;

@@ -31,6 +31,7 @@
 
 #include "src/accel/accelerator.hh"
 #include "src/accel/resource_model.hh"
+#include "src/accel/session.hh"
 #include "src/algo/spec.hh"
 #include "src/graph/datasets.hh"
 #include "src/graph/generator.hh"
@@ -55,11 +56,7 @@ inline std::vector<ArchPreset>
 fig11Presets(std::uint32_t channels = 4)
 {
     auto base = [&](MomsConfig moms, std::uint32_t pes) {
-        AccelConfig cfg;
-        cfg.num_pes = pes;
-        cfg.num_channels = channels;
-        cfg.moms = moms;
-        return cfg;
+        return AccelConfig::preset(std::move(moms), pes, channels);
     };
     return {
         {"16/16 two-level", base(MomsConfig::twoLevel(16), 16)},
@@ -313,35 +310,35 @@ class EngineBenchRecorder
     Bucket full_;
 };
 
-/** Run @p cfg on @p g; weights are added (to a local copy — @p g is
- *  shared between sweep workers) when the spec needs them. */
+/** Run @p cfg on @p g through a Session; weights are added (to a
+ *  session-local copy — @p g is shared between sweep workers) when the
+ *  kernel needs them. */
 inline RunOutcome
 runOn(const CooGraph& g, const std::string& algo, AccelConfig cfg)
 {
-    const AlgoSpec probe = makeSpec(algo, g);
-    CooGraph weighted_copy;
-    const CooGraph* graph = &g;
-    if (probe.weighted && !g.weighted()) {
-        weighted_copy = g;
-        addRandomWeights(weighted_copy, 97);
-        graph = &weighted_copy;
-    }
-    const AlgoSpec spec = makeSpec(algo, *graph);
-    auto [nd, ns] =
-        defaultIntervalsFor(graph->numNodes(), graph->numEdges());
-    cfg.nd = nd;
-    cfg.ns = ns;
-    PartitionedGraph pg(*graph, nd, ns);
-    Accelerator accel(cfg, pg, spec);
+    // Datasets arrive already preprocessed (loadDataset), so the
+    // session borrows the shared graph and adds no preprocessing.
+    Session session = SessionBuilder()
+                          .datasetView(g)
+                          .config(std::move(cfg))
+                          .build();
+    SessionResult res;
+    if (algo == "PageRank")
+        res = session.pageRank(pagerankIterations());
+    else if (algo == "SCC")
+        res = session.scc(convergenceCap());
+    else if (algo == "SSSP")
+        res = session.sssp(0, convergenceCap());
+    else
+        throw FatalError("unknown algorithm " + algo);
     RunOutcome out;
-    WallTimer timer;
-    out.result = accel.run();
-    out.wall_seconds = timer.elapsedSeconds();
-    out.engine = accel.engine().stats();
-    out.freq_mhz = modelFrequencyMhz(cfg, spec);
-    out.gteps = out.result.gteps(out.freq_mhz);
+    out.result = std::move(res.run);
+    out.engine = res.engine;
+    out.wall_seconds = res.wall_seconds;
+    out.freq_mhz = res.fmax_mhz;
+    out.gteps = res.gteps;
     EngineBenchRecorder::instance().add(out.engine, out.wall_seconds,
-                                        accel.engine().fullTick());
+                                        res.full_tick);
     return out;
 }
 

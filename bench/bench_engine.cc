@@ -36,12 +36,10 @@ main()
         // flight, no cache arrays and the deepest die-crossing
         // latency. Each 16-word decode phase is followed by a full
         // DRAM round trip during which every component sleeps.
-        AccelConfig cfg;
-        cfg.num_pes = 1;
-        cfg.num_channels = 4;
+        AccelConfig cfg = AccelConfig::preset(
+            MomsConfig::twoLevel(16).withoutCacheArrays(), /*pes=*/1);
         cfg.max_edge_bursts = 1;
         cfg.edge_burst_lines = 1;
-        cfg.moms = MomsConfig::twoLevel(16).withoutCacheArrays();
         cfg.moms.crossing_latency = 32;
         workloads.push_back(
             {"1pe mlp1 64B nocache x32", "SCC", "UK", cfg});
@@ -51,11 +49,9 @@ main()
         // alternates decode bursts with full (cache-less, deep
         // die-crossing) DRAM round trips, so most components sleep
         // most cycles — the regime the wake calendar targets.
-        AccelConfig cfg;
-        cfg.num_pes = 1;
-        cfg.num_channels = 4;
+        AccelConfig cfg = AccelConfig::preset(
+            MomsConfig::twoLevel(16).withoutCacheArrays(), /*pes=*/1);
         cfg.max_edge_bursts = 1;
-        cfg.moms = MomsConfig::twoLevel(16).withoutCacheArrays();
         cfg.moms.crossing_latency = 32;
         workloads.push_back(
             {"1pe mlp1 nocache x32", "SCC", "UK", cfg});
@@ -65,11 +61,9 @@ main()
         // keep most components busy, so skipping buys little — kept
         // to show the idle-aware engine does not regress saturated
         // (throughput-bound) runs.
-        AccelConfig cfg;
-        cfg.num_pes = 16;
-        cfg.num_channels = 4;
+        AccelConfig cfg =
+            AccelConfig::preset(MomsConfig::twoLevel(16), /*pes=*/16);
         cfg.max_edge_bursts = 1;
-        cfg.moms = MomsConfig::twoLevel(16);
         cfg.moms.crossing_latency = 32;
         workloads.push_back(
             {"16pe mlp1 crossing-32", "SCC", "UK", cfg});
@@ -172,5 +166,50 @@ main()
                     ? "Telemetry left every result bit-identical"
                     : "TELEMETRY CHANGED RESULTS — collection is not "
                       "observation-only");
-    return exact && tele_exact ? 0 : 1;
+
+    // Hardening cost contract (docs/MODEL.md "Invariants & watchdog"):
+    // checks off must be free (no harness component, no shadow memory),
+    // and checks on — watchdog, conservation checkers, shadow-memory
+    // verification — must only *observe*, leaving results bit-identical
+    // at, per the acceptance bar, <= 5% wall-clock overhead.
+    std::printf("\n=== Hardening overhead (idle-aware engine) ===\n");
+    Table check_table({"workload", "off s", "on s", "overhead"});
+    bool check_exact = true;
+    for (const Workload& w : workloads) {
+        const CooGraph& g = *loadDataset(w.dataset);
+
+        AccelConfig off = w.config;
+        RunOutcome base = runOn(g, w.algo, off);
+
+        AccelConfig on = w.config;
+        on.checks.enabled = true;
+        RunOutcome hard = runOn(g, w.algo, on);
+
+        if (base.result.cycles != hard.result.cycles ||
+            base.result.raw_values != hard.result.raw_values) {
+            std::printf("CHECKS PERTURBED %s: off %llu cycles, "
+                        "on %llu cycles\n", w.name.c_str(),
+                        static_cast<unsigned long long>(
+                            base.result.cycles),
+                        static_cast<unsigned long long>(
+                            hard.result.cycles));
+            check_exact = false;
+        }
+
+        const double overhead =
+            base.wall_seconds > 0
+                ? hard.wall_seconds / base.wall_seconds - 1.0
+                : 0.0;
+        check_table.addRow({w.name, fmt(base.wall_seconds, 2),
+                            fmt(hard.wall_seconds, 2),
+                            fmt(100.0 * overhead, 1) + "%"});
+    }
+    check_table.print();
+    std::printf("\n%s.\n",
+                check_exact
+                    ? "The hardening layer left every result "
+                      "bit-identical"
+                    : "CHECKS CHANGED RESULTS — the hardening layer is "
+                      "not observation-only");
+    return exact && tele_exact && check_exact ? 0 : 1;
 }

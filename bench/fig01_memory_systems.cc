@@ -48,10 +48,8 @@ main()
         // every source read going through the MOMS.
         AlgoSpec spec = AlgoSpec::scc(g.numNodes(), 1);
         spec.use_local_src = false;
-        AccelConfig cfg;
-        cfg.num_pes = 16;
-        cfg.num_channels = 4;
-        cfg.moms = MomsConfig::twoLevel(16);
+        AccelConfig cfg =
+            AccelConfig::preset(MomsConfig::twoLevel(16), /*pes=*/16);
         cfg.nd = nd;
         cfg.ns = ns;
         Accelerator accel(cfg, pg, spec);

@@ -20,10 +20,8 @@ main()
     std::printf("=== Fig. 13: PageRank throughput by preprocessing "
                 "(two-level 16/16 MOMS) ===\n\n");
 
-    AccelConfig cfg;
-    cfg.num_pes = 16;
-    cfg.num_channels = 4;
-    cfg.moms = MomsConfig::twoLevel(16);
+    AccelConfig cfg =
+        AccelConfig::preset(MomsConfig::twoLevel(16), /*pes=*/16);
 
     const std::vector<Preprocessing> preps = {
         Preprocessing::None, Preprocessing::Hash, Preprocessing::Dbg,

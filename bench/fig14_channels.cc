@@ -43,10 +43,8 @@ main(int argc, char** argv)
                 jobs.push_back({algo, tag, c});
     const std::vector<RunOutcome> outcomes =
         sweep(jobs, [&](const Job& j) {
-            AccelConfig cfg;
-            cfg.num_pes = 16;
-            cfg.num_channels = j.channels;
-            cfg.moms = MomsConfig::twoLevel(16);
+            AccelConfig cfg = AccelConfig::preset(
+                MomsConfig::twoLevel(16), /*pes=*/16, j.channels);
             cli.apply(cfg, j.algo + " " + j.tag + " " +
                                std::to_string(j.channels) + "ch");
             return runOn(*loadDataset(j.tag), j.algo, cfg);

@@ -28,11 +28,10 @@ struct Variant
 AccelConfig
 makeConfig(bool traditional, const Variant& v)
 {
-    AccelConfig cfg;
-    cfg.num_pes = 20;
-    cfg.num_channels = 4;
-    cfg.moms = traditional ? MomsConfig::traditionalTwoLevel(8)
-                           : MomsConfig::twoLevel(8, 1024);
+    AccelConfig cfg = AccelConfig::preset(
+        traditional ? MomsConfig::traditionalTwoLevel(8)
+                    : MomsConfig::twoLevel(8, 1024),
+        /*pes=*/20);
     if (!v.private_cache)
         cfg.moms = cfg.moms.withPrivateCache(0);
     if (!v.shared_cache)

@@ -19,15 +19,15 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/accel/accelerator.hh"
 #include "src/accel/resource_model.hh"
+#include "src/accel/session.hh"
 #include "src/algo/spec.hh"
 #include "src/graph/datasets.hh"
 #include "src/graph/generator.hh"
-#include "src/graph/reorder.hh"
 #include "src/obs/trace_export.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/report.hh"
@@ -37,6 +37,8 @@ using namespace gmoms;
 namespace
 {
 
+/** Probe spec for the resource/frequency model (the actual run goes
+ *  through the Session, which builds its own spec). */
 AlgoSpec
 makeSpec(const std::string& algo, const CooGraph& g)
 {
@@ -76,13 +78,13 @@ main(int argc, char** argv)
     if (positional.size() > 1)
         tag = positional[1];
 
+    // Preprocess once; every design point's session shares the graph
+    // (SSSP sessions add their own deterministic weights, seed 7).
     CooGraph g = buildDataset(datasetByTag(tag));
     auto [nd, ns] = defaultIntervalsFor(g.numNodes(), g.numEdges());
-    g = applyPreprocessing(g, Preprocessing::DbgHash, nd);
-    if (algo == "SSSP")
-        addRandomWeights(g, 7);
-    PartitionedGraph pg(g, nd, ns);
-    AlgoSpec spec = makeSpec(algo, g);
+    auto dataset = std::make_shared<const CooGraph>(
+        applyPreprocessing(g, Preprocessing::DbgHash, nd));
+    const AlgoSpec probe = makeSpec(algo, *dataset);
 
     struct Candidate
     {
@@ -103,11 +105,12 @@ main(int argc, char** argv)
         std::printf("exploring %zu design points for %s on '%s' "
                     "(%u nodes, %llu edges)\n\n",
                     std::size(candidates), algo.c_str(), tag.c_str(),
-                    g.numNodes(),
-                    static_cast<unsigned long long>(g.numEdges()));
+                    dataset->numNodes(),
+                    static_cast<unsigned long long>(
+                        dataset->numEdges()));
 
-    // Run every design point on the worker pool (each builds its own
-    // Accelerator+Engine; the partitioned graph is shared read-only),
+    // Run every design point on the worker pool (each session builds
+    // its own Accelerator+Engine; the dataset is shared read-only),
     // buffering per-candidate output so it prints in candidate order.
     struct Explored
     {
@@ -120,45 +123,46 @@ main(int argc, char** argv)
     for (std::size_t i = 0; i < std::size(candidates); ++i)
         tasks.push_back([&, i] {
             const Candidate& cand = candidates[i];
-            AccelConfig cfg;
-            cfg.num_pes = cand.pes;
-            cfg.num_channels = 4;
-            cfg.moms = cand.moms;
+            AccelConfig cfg =
+                AccelConfig::preset(cand.moms, cand.pes);
             cfg.nd = nd;
             cfg.ns = ns;
             cfg.telemetry.enabled = telemetry;
             cfg.telemetry.label = std::string(cand.name) + " " + algo +
                                   " " + tag;
-            Accelerator accel(cfg, pg, spec);
-            RunResult res = accel.run();
-            results[i].telemetry = res.telemetry;
+            SessionResult res = SessionBuilder()
+                                    .dataset(dataset)
+                                    .config(cfg)
+                                    .weightSeed(7)
+                                    .algo(algo)
+                                    .iterations(algo == "PageRank" ? 3
+                                                                   : 4)
+                                    .run();
+            results[i].telemetry = res.run.telemetry;
             std::string bottleneck;
-            if (res.telemetry) {
-                if (const auto* top = res.telemetry->topStall())
+            if (res.run.telemetry) {
+                if (const auto* top = res.run.telemetry->topStall())
                     bottleneck = top->group + "/" +
                                  stallCauseName(top->cause);
                 else
                     bottleneck = "none";
             }
-            const double fmax = modelFrequencyMhz(cfg, spec);
-            const double gteps = res.gteps(fmax);
-            const double watts = modelPowerWatts(cfg, spec);
-            const ResourceBreakdown rb = estimateResources(cfg, spec);
+            const ResourceBreakdown rb = estimateResources(cfg, probe);
 
-            results[i].gteps = gteps;
+            results[i].gteps = res.gteps;
             if (json) {
                 JsonReport report;
                 report.set("design", std::string(cand.name))
                     .set("algo", algo)
                     .set("dataset", tag)
-                    .set("gteps", gteps)
-                    .set("fmax_mhz", fmax)
-                    .set("power_w", watts)
+                    .set("gteps", res.gteps)
+                    .set("fmax_mhz", res.fmax_mhz)
+                    .set("power_w", res.power_watts)
                     .set("lut_util", rb.lut_util)
-                    .set("cycles", res.cycles)
-                    .set("hit_rate", res.moms_hit_rate)
-                    .set("dram_bytes_read", res.dram_bytes_read)
-                    .set("discarded", fmax < kMinFrequencyMhz);
+                    .set("cycles", res.run.cycles)
+                    .set("hit_rate", res.run.moms_hit_rate)
+                    .set("dram_bytes_read", res.run.dram_bytes_read)
+                    .set("discarded", res.fmax_mhz < kMinFrequencyMhz);
                 if (!bottleneck.empty())
                     report.set("top_bottleneck", bottleneck);
                 results[i].line = report.str() + "\n";
@@ -167,8 +171,9 @@ main(int argc, char** argv)
                 std::snprintf(buf, sizeof(buf),
                               "  %-20s %6.3f GTEPS  %3.0f MHz  %4.1f W"
                               "  LUT %4.1f%%  %6.2f MTEPS/W%s%s\n",
-                              cand.name, gteps, fmax, watts,
-                              100 * rb.lut_util, 1000.0 * gteps / watts,
+                              cand.name, res.gteps, res.fmax_mhz,
+                              res.power_watts, 100 * rb.lut_util,
+                              1000.0 * res.gteps / res.power_watts,
                               bottleneck.empty() ? "" : "  bottleneck ",
                               bottleneck.c_str());
                 results[i].line = buf;

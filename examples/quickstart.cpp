@@ -2,21 +2,17 @@
  * @file
  * Quickstart: run PageRank on the simulated MOMS graph accelerator.
  *
- * The five steps every gmoms application follows:
+ * The three steps every gmoms application follows:
  *   1. build or load a COO graph,
- *   2. preprocess (reorder + partition into intervals/shards),
- *   3. pick an algorithm spec (Template 1 parameterization),
- *   4. pick an accelerator configuration (PEs, channels, MOMS shape),
- *   5. run and inspect results + performance counters.
+ *   2. open a Session on it (preprocessing, partitioning and the
+ *      accelerator configuration behind one builder),
+ *   3. run algorithms and inspect results + performance counters.
  */
 
 #include <cstdio>
 
-#include "src/accel/accelerator.hh"
-#include "src/accel/resource_model.hh"
-#include "src/algo/spec.hh"
+#include "src/accel/session.hh"
 #include "src/graph/generator.hh"
-#include "src/graph/reorder.hh"
 
 using namespace gmoms;
 
@@ -28,57 +24,52 @@ main()
     std::printf("graph: %u nodes, %llu edges\n", graph.numNodes(),
                 static_cast<unsigned long long>(graph.numEdges()));
 
-    // 2. Paper-default preprocessing: DBG then cache-line hashing,
-    //    then O(M) partitioning into destination/source intervals.
-    auto [nd, ns] = defaultIntervalsFor(graph.numNodes(),
-                                        graph.numEdges());
-    graph = applyPreprocessing(graph, Preprocessing::DbgHash, nd);
-    PartitionedGraph pg(graph, nd, ns);
+    // 2. One Session = one preprocessed dataset on one accelerator
+    //    configuration. Paper-default preprocessing (DBG then
+    //    cache-line hashing) and the paper's best generic design:
+    //    16 PEs, 4 DDR4 channels, two-level MOMS with 16 shared banks.
+    Session session =
+        SessionBuilder()
+            .dataset(std::move(graph))
+            .preprocessing(Preprocessing::DbgHash)
+            .config(AccelConfig::preset(MomsConfig::twoLevel(16),
+                                        /*pes=*/16))
+            .build();
+    const PartitionedGraph& pg = session.partition();
     std::printf("partitioned: %u x %u shards (Nd=%u, Ns=%u)\n",
                 pg.qs(), pg.qd(), pg.nd(), pg.ns());
 
     // 3. PageRank, 10 iterations, with the normalized-score trick.
-    AlgoSpec spec = AlgoSpec::pageRank(graph, 10);
+    SessionResult res = session.pageRank(10);
 
-    // 4. The paper's best generic design: 16 PEs, 4 DDR4 channels,
-    //    two-level MOMS with 16 shared banks.
-    AccelConfig cfg;
-    cfg.num_pes = 16;
-    cfg.num_channels = 4;
-    cfg.moms = MomsConfig::twoLevel(16);
-    cfg.nd = nd;
-    cfg.ns = ns;
-
-    // 5. Run and report.
-    Accelerator accel(cfg, pg, spec);
-    RunResult res = accel.run();
-    const double fmax = modelFrequencyMhz(cfg, spec);
-
-    std::printf("\nran %u iterations in %llu cycles\n", res.iterations,
-                static_cast<unsigned long long>(res.cycles));
-    std::printf("throughput: %.2f GTEPS at %.0f MHz\n", res.gteps(fmax),
-                fmax);
+    std::printf("\nran %u iterations in %llu cycles\n",
+                res.run.iterations,
+                static_cast<unsigned long long>(res.run.cycles));
+    std::printf("throughput: %.2f GTEPS at %.0f MHz\n", res.gteps,
+                res.fmax_mhz);
     std::printf("MOMS: %.1f%% of reads merged as secondary misses, "
                 "%.1f%% cache hits\n",
-                100.0 * res.moms_secondary_misses /
-                    std::max<std::uint64_t>(res.moms_requests, 1),
-                100.0 * res.moms_hit_rate);
+                100.0 * res.run.moms_secondary_misses /
+                    std::max<std::uint64_t>(res.run.moms_requests, 1),
+                100.0 * res.run.moms_hit_rate);
     std::printf("DRAM traffic: %.1f MB read, %.1f MB written\n",
-                res.dram_bytes_read / 1e6, res.dram_bytes_written / 1e6);
+                res.run.dram_bytes_read / 1e6,
+                res.run.dram_bytes_written / 1e6);
 
-    // Top-5 nodes by PageRank score.
-    std::vector<NodeId> order(graph.numNodes());
-    for (NodeId i = 0; i < graph.numNodes(); ++i)
+    // Top-5 nodes by PageRank score (values are in internal label
+    // space; translate back for reporting).
+    const NodeId n = session.graph().numNodes();
+    std::vector<NodeId> order(n);
+    for (NodeId i = 0; i < n; ++i)
         order[i] = i;
     std::partial_sort(order.begin(), order.begin() + 5, order.end(),
                       [&](NodeId a, NodeId b) {
-                          return spec.finalValue(res.raw_values[a], a) >
-                                 spec.finalValue(res.raw_values[b], b);
+                          return res.values[a] > res.values[b];
                       });
     std::printf("\ntop 5 nodes by PageRank:\n");
     for (int i = 0; i < 5; ++i)
-        std::printf("  node %-8u score %.3e\n", order[i],
-                    spec.finalValue(res.raw_values[order[i]],
-                                    order[i]));
+        std::printf("  node %-8u score %.3e\n",
+                    session.originalId(order[i]),
+                    res.values[order[i]]);
     return 0;
 }

@@ -5,16 +5,16 @@
  * convergence machinery (active source intervals pruning work across
  * iterations) and the weighted-edge datapath (Fig. 10a thread-state
  * memory).
+ *
+ * The dataset brings its OWN edge weights: the session detects that
+ * and uses them as-is instead of synthesizing random ones.
  */
 
 #include <cstdio>
 
-#include "src/accel/accelerator.hh"
-#include "src/accel/resource_model.hh"
+#include "src/accel/session.hh"
 #include "src/algo/golden.hh"
-#include "src/algo/spec.hh"
 #include "src/graph/generator.hh"
-#include "src/graph/partition.hh"
 
 using namespace gmoms;
 
@@ -29,42 +29,38 @@ main()
                 grid.numNodes(),
                 static_cast<unsigned long long>(grid.numEdges()));
 
-    auto [nd, ns] = defaultIntervalsFor(grid.numNodes(),
-                                        grid.numEdges());
-    PartitionedGraph pg(grid, nd, ns);
-
     const NodeId depot = 0;  // top-left corner
-    AlgoSpec spec = AlgoSpec::sssp(depot, /*max_iters=*/10'000);
 
-    AccelConfig cfg;
-    cfg.num_pes = 8;
-    cfg.num_channels = 2;
-    cfg.moms = MomsConfig::twoLevel(8);
-    cfg.nd = nd;
-    cfg.ns = ns;
-
-    Accelerator accel(cfg, pg, spec);
-    RunResult res = accel.run();
+    // Borrow the grid (no copy) — it is still needed below for the
+    // golden comparison. No preprocessing: grid labels are already
+    // cache-friendly, and node ids stay meaningful coordinates.
+    Session session =
+        SessionBuilder()
+            .datasetView(grid)
+            .config(AccelConfig::preset(MomsConfig::twoLevel(8),
+                                        /*pes=*/8, /*channels=*/2))
+            .build();
+    SessionResult res = session.sssp(depot, /*max_iterations=*/10'000);
 
     std::printf("converged in %u iterations, %llu cycles "
                 "(%.2f GTEPS at %.0f MHz)\n",
-                res.iterations,
-                static_cast<unsigned long long>(res.cycles),
-                res.gteps(modelFrequencyMhz(cfg, spec)),
-                modelFrequencyMhz(cfg, spec));
+                res.run.iterations,
+                static_cast<unsigned long long>(res.run.cycles),
+                res.gteps, res.fmax_mhz);
     std::printf("active-interval pruning: %llu edge traversals vs "
                 "%llu for a naive %u-iteration sweep\n",
-                static_cast<unsigned long long>(res.edges_processed),
                 static_cast<unsigned long long>(
-                    static_cast<EdgeId>(res.iterations) *
+                    res.run.edges_processed),
+                static_cast<unsigned long long>(
+                    static_cast<EdgeId>(res.run.iterations) *
                     grid.numEdges()),
-                res.iterations);
+                res.run.iterations);
 
     // Verify against the golden Bellman-Ford oracle.
     std::vector<std::uint32_t> golden = goldenSssp(grid, depot);
     std::uint64_t mismatches = 0;
     for (NodeId i = 0; i < grid.numNodes(); ++i)
-        if (res.raw_values[i] != golden[i])
+        if (res.run.raw_values[i] != golden[i])
             ++mismatches;
     std::printf("verification vs Bellman-Ford oracle: %s\n",
                 mismatches == 0 ? "exact match" : "MISMATCH");
@@ -73,10 +69,10 @@ main()
     auto at = [&](NodeId r, NodeId c) { return r * cols + c; };
     std::printf("\ntravel times from the depot (corner):\n");
     std::printf("  to centre        (%3u,%3u): %u\n", rows / 2,
-                cols / 2, res.raw_values[at(rows / 2, cols / 2)]);
+                cols / 2, res.run.raw_values[at(rows / 2, cols / 2)]);
     std::printf("  to opposite side (%3u,%3u): %u\n", rows - 1,
-                cols - 1, res.raw_values[at(rows - 1, cols - 1)]);
+                cols - 1, res.run.raw_values[at(rows - 1, cols - 1)]);
     std::printf("  to east edge     (%3u,%3u): %u\n", 0u, cols - 1,
-                res.raw_values[at(0, cols - 1)]);
+                res.run.raw_values[at(0, cols - 1)]);
     return 0;
 }

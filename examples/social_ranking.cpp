@@ -6,108 +6,85 @@
  *
  * Demonstrates: dataset profiles, the value of DBG reordering on
  * shuffled labelings, asynchronous min-label propagation (SCC kernel)
- * and running two algorithms on one preprocessed graph.
+ * and running two algorithms on one preprocessed Session.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 
-#include "src/accel/accelerator.hh"
-#include "src/accel/resource_model.hh"
-#include "src/algo/spec.hh"
+#include "src/accel/session.hh"
 #include "src/graph/datasets.hh"
-#include "src/graph/generator.hh"
-#include "src/graph/reorder.hh"
 
 using namespace gmoms;
-
-namespace
-{
-
-RunResult
-run(const PartitionedGraph& pg, const AlgoSpec& spec,
-    const AccelConfig& cfg, double* gteps)
-{
-    Accelerator accel(cfg, pg, spec);
-    RunResult res = accel.run();
-    *gteps = res.gteps(modelFrequencyMhz(cfg, spec));
-    return res;
-}
-
-} // namespace
 
 int
 main()
 {
     // The twitter_mpi stand-in: power-law, community-scattering labels.
-    CooGraph raw = buildDataset(datasetByTag("MP"));
+    auto dataset = std::make_shared<const CooGraph>(
+        buildDataset(datasetByTag("MP")));
     std::printf("social graph 'MP': %u users, %llu follows\n",
-                raw.numNodes(),
-                static_cast<unsigned long long>(raw.numEdges()));
+                dataset->numNodes(),
+                static_cast<unsigned long long>(dataset->numEdges()));
 
-    AccelConfig cfg;
-    cfg.num_pes = 16;
-    cfg.num_channels = 4;
-    cfg.moms = MomsConfig::twoLevel(16);
+    const AccelConfig cfg =
+        AccelConfig::preset(MomsConfig::twoLevel(16), /*pes=*/16);
 
-    auto [nd, ns] = defaultIntervalsFor(raw.numNodes(), raw.numEdges());
-    cfg.nd = nd;
-    cfg.ns = ns;
-
-    // Show why preprocessing matters on this labeling (Fig. 13).
+    // Show why preprocessing matters on this labeling (Fig. 13). The
+    // dataset is shared: each session relabels its own view.
     std::printf("\n-- preprocessing comparison (PageRank, 3 iters) "
                 "--\n");
-    std::map<Preprocessing, CooGraph> variants;
     for (Preprocessing p :
          {Preprocessing::None, Preprocessing::DbgHash}) {
-        CooGraph g = applyPreprocessing(raw, p, nd);
-        PartitionedGraph pg(g, nd, ns);
-        AlgoSpec pr = AlgoSpec::pageRank(g, 3);
-        double gteps = 0;
-        run(pg, pr, cfg, &gteps);
+        SessionResult res = SessionBuilder()
+                                .dataset(dataset)
+                                .preprocessing(p)
+                                .config(cfg)
+                                .algo("PageRank")
+                                .iterations(3)
+                                .run();
         std::printf("  %-10s %.3f GTEPS\n", preprocessingName(p),
-                    gteps);
-        variants.emplace(p, std::move(g));
+                    res.gteps);
     }
 
-    // Full analysis on the preprocessed graph.
-    const CooGraph& g = variants.at(Preprocessing::DbgHash);
-    PartitionedGraph pg(g, nd, ns);
+    // Full analysis: one Session, the preprocessing paid once, two
+    // algorithms over it.
+    Session session = SessionBuilder()
+                          .dataset(dataset)
+                          .preprocessing(Preprocessing::DbgHash)
+                          .config(cfg)
+                          .build();
+    const NodeId users = session.graph().numNodes();
 
     std::printf("\n-- influence ranking (PageRank, 10 iterations) --\n");
-    AlgoSpec pr = AlgoSpec::pageRank(g, 10);
-    double pr_gteps = 0;
-    RunResult pr_res = run(pg, pr, cfg, &pr_gteps);
-    std::vector<NodeId> order(g.numNodes());
-    for (NodeId i = 0; i < g.numNodes(); ++i)
+    SessionResult pr = session.pageRank(10);
+    std::vector<NodeId> order(users);
+    for (NodeId i = 0; i < users; ++i)
         order[i] = i;
     std::partial_sort(order.begin(), order.begin() + 3, order.end(),
                       [&](NodeId a, NodeId b) {
-                          return pr.finalValue(pr_res.raw_values[a], a) >
-                                 pr.finalValue(pr_res.raw_values[b], b);
+                          return pr.values[a] > pr.values[b];
                       });
     for (int i = 0; i < 3; ++i)
         std::printf("  influencer #%d: user %u (score %.3e)\n", i + 1,
-                    order[i],
-                    pr.finalValue(pr_res.raw_values[order[i]],
-                                  order[i]));
-    std::printf("  throughput: %.3f GTEPS\n", pr_gteps);
+                    session.originalId(order[i]), pr.values[order[i]]);
+    std::printf("  throughput: %.3f GTEPS\n", pr.gteps);
 
     std::printf("\n-- reachability communities (min-label / SCC "
                 "kernel) --\n");
-    AlgoSpec scc = AlgoSpec::scc(g.numNodes());
-    double scc_gteps = 0;
-    RunResult scc_res = run(pg, scc, cfg, &scc_gteps);
+    SessionResult scc = session.scc();
     std::map<std::uint32_t, std::uint64_t> sizes;
-    for (NodeId i = 0; i < g.numNodes(); ++i)
-        ++sizes[scc_res.raw_values[i]];
+    for (NodeId i = 0; i < users; ++i)
+        ++sizes[scc.run.raw_values[i]];
     std::uint64_t biggest = 0;
     for (const auto& [label, count] : sizes)
         biggest = std::max(biggest, count);
     std::printf("  %zu components; largest holds %.1f%% of users "
                 "(converged in %u iterations)\n",
-                sizes.size(), 100.0 * biggest / g.numNodes(),
-                scc_res.iterations);
-    std::printf("  throughput: %.3f GTEPS\n", scc_gteps);
+                sizes.size(), 100.0 * biggest / users,
+                scc.run.iterations);
+    std::printf("  throughput: %.3f GTEPS\n", scc.gteps);
     return 0;
 }

@@ -1,0 +1,162 @@
+#include "src/accel/accel_config.hh"
+
+#include <vector>
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+namespace
+{
+
+void
+validateBank(const char* which, const MomsBankConfig& b,
+             std::vector<std::string>& problems)
+{
+    const std::string p = std::string(which) + " bank: ";
+    if (b.num_mshrs == 0)
+        problems.push_back(p + "num_mshrs must be > 0 (a bank with no "
+                               "MSHRs can never miss)");
+    if (!b.assoc_mshr && b.mshr_tables == 0)
+        problems.push_back(p + "mshr_tables must be > 0 for the cuckoo "
+                               "MSHR file");
+    if (!b.assoc_mshr && b.mshr_tables > 0 &&
+        b.num_mshrs % b.mshr_tables != 0)
+        problems.push_back(
+            p + "num_mshrs must be a multiple of mshr_tables (the "
+                "cuckoo ways partition the file evenly); got " +
+            std::to_string(b.num_mshrs) + " MSHRs over " +
+            std::to_string(b.mshr_tables) + " tables");
+    if (b.num_subentries == 0)
+        problems.push_back(p + "num_subentries must be > 0");
+    if (b.req_queue_depth == 0 || b.resp_queue_depth == 0)
+        problems.push_back(p + "request/response queue depths must be "
+                               "> 0");
+    if (b.req_latency == 0 || b.resp_latency == 0)
+        problems.push_back(p + "req/resp latencies must be >= 1 (the "
+                               "engine's token-visibility invariant "
+                               "requires every link latency >= 1 cycle)");
+    if (b.cache_bytes > 0 && b.cache_ways == 0)
+        problems.push_back(p + "cache_ways must be > 0 when a cache "
+                               "array is present (set cache_bytes = 0 "
+                               "to disable the array instead)");
+}
+
+} // namespace
+
+void
+AccelConfig::validate() const
+{
+    std::vector<std::string> problems;
+
+    if (num_pes == 0)
+        problems.push_back("num_pes must be > 0");
+    if (num_channels == 0)
+        problems.push_back("num_channels must be > 0");
+
+    if (nd == 0) {
+        problems.push_back("nd (destination interval) must be > 0");
+    } else {
+        if (ns == 0 || ns % nd != 0)
+            problems.push_back(
+                "ns must be a nonzero multiple of nd (destination "
+                "intervals may never straddle source intervals); got "
+                "nd=" + std::to_string(nd) + ", ns=" +
+                std::to_string(ns));
+        if (nd > 32768)
+            problems.push_back("nd must be <= 32768: the compressed "
+                               "edge word carries a 15-bit destination "
+                               "offset; got " + std::to_string(nd));
+        if (ns > 65536)
+            problems.push_back("ns must be <= 65536: the compressed "
+                               "edge word carries a 16-bit source "
+                               "offset; got " + std::to_string(ns));
+    }
+
+    if (max_threads == 0)
+        problems.push_back("max_threads must be > 0 (no outstanding "
+                           "source reads means no progress)");
+    if (edge_burst_lines == 0 || max_edge_bursts == 0)
+        problems.push_back("edge_burst_lines and max_edge_bursts must "
+                           "be > 0 (PEs stream edges in bursts)");
+    if (init_burst_lines == 0)
+        problems.push_back("init_burst_lines must be > 0");
+    if (nodes_per_cycle == 0)
+        problems.push_back("nodes_per_cycle must be > 0");
+    if (max_cycles == 0)
+        problems.push_back("max_cycles must be > 0");
+
+    const bool has_shared =
+        moms.topology != MomsConfig::Topology::Private;
+    if (has_shared) {
+        if (num_channels > 0 &&
+            (moms.num_shared_banks == 0 ||
+             moms.num_shared_banks % num_channels != 0))
+            problems.push_back(
+                "shared bank count must be a nonzero multiple of the "
+                "channel count (static bank-to-channel binding, "
+                "Section IV-B); got " +
+                std::to_string(moms.num_shared_banks) + " banks on " +
+                std::to_string(num_channels) + " channels");
+        if (moms.crossbar_queue_depth == 0)
+            problems.push_back("moms.crossbar_queue_depth must be > 0");
+        if (moms.crossing_latency == 0)
+            problems.push_back("moms.crossing_latency must be >= 1 "
+                               "(link latency contract)");
+        validateBank("shared", moms.shared_bank, problems);
+    }
+    if (moms.topology != MomsConfig::Topology::Shared)
+        validateBank("private", moms.private_bank, problems);
+
+    if (telemetry.enabled && telemetry.window_cycles == 0)
+        problems.push_back("telemetry.window_cycles must be > 0 when "
+                           "telemetry is enabled");
+    if (checks.enabled && checks.watchdog_interval == 0)
+        problems.push_back("checks.watchdog_interval must be > 0 when "
+                           "checks are enabled");
+
+    if (problems.empty())
+        return;
+    std::string msg = "invalid AccelConfig (" + label() + "):";
+    for (const std::string& p : problems)
+        msg += "\n  - " + p;
+    fatal(msg);
+}
+
+AccelConfig
+AccelConfig::preset(MomsConfig moms, std::uint32_t pes,
+                    std::uint32_t channels)
+{
+    AccelConfig cfg;
+    cfg.num_pes = pes;
+    cfg.num_channels = channels;
+    cfg.moms = std::move(moms);
+    return cfg;
+}
+
+AccelConfig
+AccelConfig::paper18x16TwoLevel()
+{
+    return preset(MomsConfig::twoLevel(16, 2048), 18);
+}
+
+AccelConfig
+AccelConfig::sharedMoms()
+{
+    return preset(MomsConfig::shared(16), 16);
+}
+
+AccelConfig
+AccelConfig::privateMoms()
+{
+    return preset(MomsConfig::privateOnly(), 20);
+}
+
+AccelConfig
+AccelConfig::traditionalNbc()
+{
+    return preset(MomsConfig::traditionalTwoLevel(16), 16);
+}
+
+} // namespace gmoms

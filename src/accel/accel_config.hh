@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/cache/moms_system.hh"
+#include "src/check/check_config.hh"
 #include "src/mem/dram_config.hh"
 #include "src/obs/telemetry.hh"
 
@@ -65,6 +66,13 @@ struct AccelConfig
      *  by GMOMS_FULL_TICK=1). */
     bool full_tick_engine = false;
 
+    /** Hardening layer: disabled by default (no harness component, no
+     *  shadow memory, all hook pointers null — zero per-cycle cost).
+     *  When enabled, results are still bit-exact; the run merely gains
+     *  the right to abort with a CheckError diagnostic. See
+     *  docs/MODEL.md "Invariants & watchdog". */
+    CheckConfig checks;
+
     /** Paper-style label, e.g. "16/16 moms 0k @4ch". */
     std::string
     label() const
@@ -72,6 +80,34 @@ struct AccelConfig
         return moms.label(num_pes) + " @" +
                std::to_string(num_channels) + "ch";
     }
+
+    /**
+     * Check every config-level constraint the construction path would
+     * otherwise trip over one at a time (or worse, silently mis-model):
+     * throws FatalError listing *all* problems with actionable
+     * messages. Called by the Accelerator constructor; call directly to
+     * vet a config before a long sweep.
+     */
+    void validate() const;
+
+    // -- named presets (single source of truth; see ISSUE 4) -------------
+
+    /** @p moms shaped onto @p pes PEs / @p channels DRAM channels with
+     *  the repo-wide default timing knobs — the base every named preset
+     *  and bench point builds on. */
+    static AccelConfig preset(MomsConfig moms, std::uint32_t pes,
+                              std::uint32_t channels = 4);
+
+    /** The paper's headline 18-PE / 16-bank two-level MOMS (Fig. 11
+     *  "18/16 2lvl"). */
+    static AccelConfig paper18x16TwoLevel();
+    /** Shared-only MOMS, 16 PEs / 16 banks ([6]'s organization). */
+    static AccelConfig sharedMoms();
+    /** Private-only MOMS, one bank per PE, 20 PEs (Fig. 8 middle). */
+    static AccelConfig privateMoms();
+    /** Traditional non-blocking-cache baseline in the two-level shape
+     *  (16 assoc MSHRs, 8 subentries/MSHR). */
+    static AccelConfig traditionalNbc();
 };
 
 /**

@@ -14,6 +14,7 @@ Accelerator::Accelerator(const AccelConfig& cfg,
         cfg_.nd = pg.nd();
         cfg_.ns = pg.ns();
     }
+    cfg_.validate();
     if (spec_.weighted != pg.weighted())
         fatal("algorithm/graph weighted mismatch");
     if (cfg_.full_tick_engine)
@@ -60,6 +61,23 @@ Accelerator::Accelerator(const AccelConfig& cfg,
         for (std::uint32_t c = 0; c < cfg_.num_channels; ++c)
             mem_->channel(c).registerTelemetry(*tele_);
     }
+
+    if (cfg_.checks.enabled) {
+        if (cfg_.checks.shadow_memory) {
+            shadow_ = std::make_unique<ShadowMemory>(
+                mem_->store(), *layout_, pg.numNodes());
+            for (auto& pe : pes_)
+                pe->attachShadow(shadow_.get());
+        }
+        CheckHarness::Wiring wiring;
+        wiring.moms = moms_.get();
+        wiring.mem = mem_.get();
+        wiring.sched = sched_.get();
+        wiring.pes = &pes_;
+        wiring.telemetry = tele_.get();
+        check_ = std::make_unique<CheckHarness>(engine_, cfg_.checks,
+                                                wiring);
+    }
 }
 
 Accelerator::~Accelerator() = default;
@@ -104,9 +122,12 @@ Accelerator::run()
         const bool done = engine_.runUntil(
             [this] { return sched_->iterationDone(); }, cfg_.max_cycles,
             Engine::Poll::OnEvents);
-        if (!done)
+        if (!done) {
+            if (check_)
+                check_->failBudget(cfg_.max_cycles);
             fatal("accelerator exceeded the cycle budget; deadlock or "
                   "undersized budget");
+        }
         ++result.iterations;
 
         cont = updateActiveFlags();
@@ -123,6 +144,8 @@ Accelerator::run()
         tele_->beginPhase("drain");
     engine_.runUntil([this] { return mem_->idle() && moms_->idle(); },
                      100000, Engine::Poll::OnEvents);
+    if (check_)
+        check_->verifyDrained();
     if (tele_) {
         tele_->endPhase();
         result.telemetry = tele_->finalize();

@@ -17,6 +17,8 @@
 #include "src/accel/scheduler.hh"
 #include "src/algo/spec.hh"
 #include "src/cache/moms_system.hh"
+#include "src/check/harness.hh"
+#include "src/check/shadow_memory.hh"
 #include "src/graph/layout.hh"
 #include "src/graph/partition.hh"
 #include "src/mem/memory_system.hh"
@@ -77,6 +79,10 @@ class Accelerator
     const std::vector<std::unique_ptr<Pe>>& pes() const { return pes_; }
     const GraphLayout& layout() const { return *layout_; }
 
+    /** Mutable MOMS access for the hardening-layer regression tests
+     *  (fault-hook attachment, direct MSHR pokes). */
+    MomsSystem& momsForTest() { return *moms_; }
+
   private:
     /** Recompute per-shard active flags from the updated intervals
      *  (Template 1 lines 16-17 and 22). @return true if any source
@@ -93,6 +99,9 @@ class Accelerator
     std::unique_ptr<GraphLayout> layout_;
     std::unique_ptr<Scheduler> sched_;
     std::vector<std::unique_ptr<Pe>> pes_;
+    /** Hardening layer; both null unless cfg_.checks.enabled. */
+    std::unique_ptr<ShadowMemory> shadow_;
+    std::unique_ptr<CheckHarness> check_;
     /** Last member: destroyed first, while the components whose
      *  counters it references are still alive. */
     std::unique_ptr<Telemetry> tele_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/check/shadow_memory.hh"
 #include "src/graph/layout.hh"
 #include "src/sim/log.hh"
 
@@ -160,6 +161,8 @@ Pe::drainDmaResponses()
             EdgeSegment* seg = edge_pending_.find(seq);
             if (seg == nullptr)
                 panic("edge burst response with unknown sequence");
+            if (shadow_)
+                shadow_->checkEdgeSegment(seg->addr, 4ull * seg->words);
             decode_q_.push_back(*seg);
             edge_pending_.erase(seq);
             --edge_bursts_inflight_;
@@ -343,8 +346,11 @@ Pe::tickStream()
 
     // 2. Gather input: MOMS responses take priority over local edges.
     bool gather_used = false;
-    if (!pending_resp_)
+    if (!pending_resp_) {
         pending_resp_ = moms_->receive();
+        if (pending_resp_)
+            ++stats_.moms_resps;
+    }
     if (pending_resp_) {
         std::uint32_t dst_off, weight;
         std::uint32_t id = 0;
@@ -357,6 +363,8 @@ Pe::tickStream()
             weight = 0;
         }
         if (!rawHazard(dst_off)) {
+            if (shadow_)
+                shadow_->checkSourceRead(pending_resp_->addr);
             const std::uint32_t src_val =
                 store_->read32(pending_resp_->addr);
             executeGather(dst_off, src_val, weight);
@@ -453,6 +461,9 @@ Pe::tickWriteback()
     while (budget > 0 && wb_nodes_written_ < job_.count) {
         if (wb_bytes_staged_ == 0)
             wb_burst_addr_ = job_.v_out_base + 4 * wb_nodes_written_;
+        if (shadow_)
+            shadow_->checkNodeWrite(job_.v_out_base +
+                                    4 * wb_nodes_written_);
         // Functional write commits at issue; the burst models timing.
         store_->write32(job_.v_out_base + 4 * wb_nodes_written_,
                         spec_->apply(bram_[wb_nodes_written_]));
@@ -515,6 +526,30 @@ Pe::registerTelemetry(Telemetry& tele)
     });
     decode_q_.attachProbe(
         tele.makeQueueProbe(name() + ".decode_q", 0), &engine_);
+}
+
+std::string
+Pe::statusLine() const
+{
+    static const char* kPhaseNames[] = {"Idle", "FetchPtrs", "Init",
+                                        "Stream", "Writeback"};
+    std::string s = name();
+    s += ": phase=";
+    s += kPhaseNames[static_cast<int>(phase_)];
+    if (phase_ == Phase::Idle)
+        return s;
+    s += " job.d=" + std::to_string(job_.d);
+    s += " shards=" + std::to_string(shards_.size());
+    s += " bursts_inflight=" + std::to_string(edge_bursts_inflight_);
+    s += " decode_q=" + std::to_string(decode_q_.size());
+    s += " threads_outstanding=" + std::to_string(threads_outstanding_);
+    if (pending_resp_)
+        s += " pending_resp(raw-parked)";
+    if (phase_ == Phase::Writeback)
+        s += " wb_written=" + std::to_string(wb_nodes_written_) + "/" +
+             std::to_string(job_.count) +
+             " unacked=" + std::to_string(wb_writes_unacked_);
+    return s;
 }
 
 } // namespace gmoms

@@ -37,6 +37,8 @@
 namespace gmoms
 {
 
+class ShadowMemory;
+
 class Pe : public Component
 {
   public:
@@ -46,6 +48,7 @@ class Pe : public Component
         std::uint64_t edges_processed = 0;  //!< gather() executions
         std::uint64_t local_src_reads = 0;
         std::uint64_t moms_reads = 0;
+        std::uint64_t moms_resps = 0;  //!< responses popped from the port
         std::uint64_t raw_stalls = 0;       //!< gather RAW hazard cycles
         std::uint64_t thread_stalls = 0;    //!< out of thread slots
         std::uint64_t moms_send_stalls = 0; //!< MOMS port backpressure
@@ -80,6 +83,14 @@ class Pe : public Component
      *  things per topology (die-crossing credits vs a busy private
      *  bank), so the cause of moms_send_stalls is topology-aware. */
     void registerTelemetry(Telemetry& tele);
+
+    /** Attach the hardening layer's shadow functional memory; every
+     *  MOMS source read, edge-burst payload and writeback is then
+     *  verified against it. Null (the default) costs nothing. */
+    void attachShadow(ShadowMemory* shadow) { shadow_ = shadow; }
+
+    /** One-line state summary for watchdog diagnostic dumps. */
+    std::string statusLine() const;
 
   private:
     enum class Phase { Idle, FetchPtrs, Init, Stream, Writeback };
@@ -145,6 +156,7 @@ class Pe : public Component
     MemPort dma_;
     SourcePort* moms_;
     BackingStore* store_;
+    ShadowMemory* shadow_ = nullptr;
 
     // -- job state --------------------------------------------------------
     Phase phase_ = Phase::Idle;

@@ -4,74 +4,134 @@
 
 #include "src/graph/generator.hh"
 #include "src/sim/log.hh"
+#include "src/sim/report.hh"
 
 namespace gmoms
 {
 
-GraphSession::GraphSession(CooGraph graph, AccelConfig config,
-                           Preprocessing preprocessing)
-    : config_(std::move(config))
+Session::Session(std::shared_ptr<const CooGraph> graph,
+                 AccelConfig config, Preprocessing preprocessing,
+                 std::uint32_t weight_seed)
+    : config_(std::move(config)), src_(std::move(graph)),
+      weight_seed_(weight_seed)
 {
-    if (graph.numNodes() == 0)
-        fatal("GraphSession needs a nonempty graph");
+    if (!src_ || src_->numNodes() == 0)
+        fatal("Session needs a nonempty graph");
 
     auto [nd, ns] =
-        defaultIntervalsFor(graph.numNodes(), graph.numEdges());
+        defaultIntervalsFor(src_->numNodes(), src_->numEdges());
     config_.nd = nd;
     config_.ns = ns;
+    config_.validate();
 
-    // Record the permutation so callers can translate node ids.
-    to_internal_.resize(graph.numNodes());
-    std::iota(to_internal_.begin(), to_internal_.end(), NodeId{0});
+    // Record the permutation so callers can translate node ids. The
+    // identity permutation is kept implicit (empty vectors): sweeps
+    // construct a Session per run, and two O(N) id tables per run is
+    // real cost on multi-million-node datasets.
     switch (preprocessing) {
       case Preprocessing::None:
         break;
       case Preprocessing::Hash:
-        to_internal_ = hashCacheLines(graph.numNodes(), nd);
+        to_internal_ = hashCacheLines(src_->numNodes(), nd);
         break;
       case Preprocessing::Dbg:
-        to_internal_ = dbgReorder(graph);
+        to_internal_ = dbgReorder(*src_);
         break;
       case Preprocessing::DbgHash: {
-        auto dbg = dbgReorder(graph);
+        auto dbg = dbgReorder(*src_);
         to_internal_ = composePermutations(
-            dbg, hashCacheLines(graph.numNodes(), nd));
+            dbg, hashCacheLines(src_->numNodes(), nd));
         break;
       }
     }
-    to_original_.resize(graph.numNodes());
-    for (NodeId i = 0; i < graph.numNodes(); ++i)
-        to_original_[to_internal_[i]] = i;
+    if (!to_internal_.empty()) {
+        to_original_.resize(src_->numNodes());
+        for (NodeId i = 0; i < src_->numNodes(); ++i)
+            to_original_[to_internal_[i]] = i;
+    }
+}
 
-    graph_ = graph.relabeled(to_internal_);
-    graph_.setWeighted(false);
-    pg_ = std::make_unique<PartitionedGraph>(graph_, nd, ns);
+void
+Session::ensurePlain() const
+{
+    if (plain_)
+        return;
+    if (to_internal_.empty() && !src_->weighted()) {
+        plain_ = src_;  // already the plain view: share, don't copy
+    } else {
+        CooGraph g = to_internal_.empty()
+                         ? *src_
+                         : src_->relabeled(to_internal_);
+        g.setWeighted(false);
+        plain_ = std::make_shared<const CooGraph>(std::move(g));
+    }
+    pg_plain_ = std::make_unique<PartitionedGraph>(*plain_, config_.nd,
+                                                   config_.ns);
+}
+
+void
+Session::ensureWeighted() const
+{
+    if (weighted_)
+        return;
+    if (src_->weighted()) {
+        // The dataset brought its own weights: honor them (relabeled()
+        // carries weights through the permutation).
+        weighted_ = to_internal_.empty()
+                        ? src_
+                        : std::make_shared<const CooGraph>(
+                              src_->relabeled(to_internal_));
+    } else {
+        ensurePlain();
+        CooGraph g = *plain_;
+        addRandomWeights(g, weight_seed_);
+        weighted_ = std::make_shared<const CooGraph>(std::move(g));
+    }
+    pg_weighted_ = std::make_unique<PartitionedGraph>(
+        *weighted_, config_.nd, config_.ns);
+}
+
+const CooGraph&
+Session::graph() const
+{
+    ensurePlain();
+    return *plain_;
+}
+
+const PartitionedGraph&
+Session::partition() const
+{
+    ensurePlain();
+    return *pg_plain_;
 }
 
 NodeId
-GraphSession::internalId(NodeId original) const
+Session::internalId(NodeId original) const
 {
-    if (original >= to_internal_.size())
+    if (original >= src_->numNodes())
         fatal("internalId: node out of range");
-    return to_internal_[original];
+    return to_internal_.empty() ? original : to_internal_[original];
 }
 
 NodeId
-GraphSession::originalId(NodeId internal) const
+Session::originalId(NodeId internal) const
 {
-    if (internal >= to_original_.size())
+    if (internal >= src_->numNodes())
         fatal("originalId: node out of range");
-    return to_original_[internal];
+    return to_original_.empty() ? internal : to_original_[internal];
 }
 
 SessionResult
-GraphSession::runSpec(const AlgoSpec& spec, const CooGraph& g)
+Session::runSpec(const AlgoSpec& spec, const CooGraph& g,
+                 const PartitionedGraph& pg)
 {
-    const PartitionedGraph& pg =
-        spec.weighted ? *pg_weighted_ : *pg_;
     Accelerator accel(config_, pg, spec);
     SessionResult out;
+    WallTimer timer;
     out.run = accel.run();
+    out.wall_seconds = timer.elapsedSeconds();
+    out.engine = accel.engine().stats();
+    out.full_tick = accel.engine().fullTick();
     out.fmax_mhz = modelFrequencyMhz(config_, spec);
     out.gteps = out.run.gteps(out.fmax_mhz);
     out.power_watts = modelPowerWatts(config_, spec);
@@ -82,37 +142,172 @@ GraphSession::runSpec(const AlgoSpec& spec, const CooGraph& g)
 }
 
 SessionResult
-GraphSession::pageRank(std::uint32_t iterations)
+Session::pageRank(std::uint32_t iterations)
 {
-    return runSpec(AlgoSpec::pageRank(graph_, iterations), graph_);
+    ensurePlain();
+    return runSpec(AlgoSpec::pageRank(*plain_, iterations), *plain_,
+                   *pg_plain_);
 }
 
 SessionResult
-GraphSession::scc(std::uint32_t max_iterations)
+Session::scc(std::uint32_t max_iterations)
 {
-    return runSpec(AlgoSpec::scc(graph_.numNodes(), max_iterations),
-                   graph_);
-}
-
-SessionResult
-GraphSession::sssp(NodeId source, std::uint32_t max_iterations)
-{
-    if (!weighted_) {
-        weighted_ = graph_;
-        addRandomWeights(*weighted_, 0x5e5e5e);
-        pg_weighted_ = std::make_unique<PartitionedGraph>(
-            *weighted_, config_.nd, config_.ns);
-    }
+    ensurePlain();
     return runSpec(
-        AlgoSpec::sssp(internalId(source), max_iterations),
-        *weighted_);
+        AlgoSpec::scc(plain_->numNodes(), max_iterations), *plain_,
+        *pg_plain_);
 }
 
 SessionResult
-GraphSession::bfs(NodeId source, std::uint32_t max_iterations)
+Session::sssp(NodeId source, std::uint32_t max_iterations)
 {
+    ensureWeighted();
+    return runSpec(
+        AlgoSpec::sssp(internalId(source), max_iterations), *weighted_,
+        *pg_weighted_);
+}
+
+SessionResult
+Session::bfs(NodeId source, std::uint32_t max_iterations)
+{
+    ensurePlain();
     return runSpec(AlgoSpec::bfs(internalId(source), max_iterations),
-                   graph_);
+                   *plain_, *pg_plain_);
+}
+
+SessionBuilder&
+SessionBuilder::dataset(CooGraph graph)
+{
+    graph_ = std::make_shared<const CooGraph>(std::move(graph));
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::dataset(std::shared_ptr<const CooGraph> graph)
+{
+    graph_ = std::move(graph);
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::datasetView(const CooGraph& graph)
+{
+    // Aliasing shared_ptr with a no-op deleter: no copy, no ownership.
+    graph_ = std::shared_ptr<const CooGraph>(&graph,
+                                             [](const CooGraph*) {});
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::config(AccelConfig cfg)
+{
+    config_ = std::move(cfg);
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::preprocessing(Preprocessing prep)
+{
+    prep_ = prep;
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::weightSeed(std::uint32_t seed)
+{
+    weight_seed_ = seed;
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::algo(std::string name)
+{
+    algo_ = std::move(name);
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::iterations(std::uint32_t n)
+{
+    iterations_ = n;
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::source(NodeId source)
+{
+    source_ = source;
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::telemetry(bool on)
+{
+    telemetry_on_ = on;
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::telemetry(TelemetryConfig cfg)
+{
+    telemetry_cfg_ = std::move(cfg);
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::checks(bool on)
+{
+    checks_on_ = on;
+    return *this;
+}
+
+SessionBuilder&
+SessionBuilder::checks(CheckConfig cfg)
+{
+    checks_cfg_ = std::move(cfg);
+    return *this;
+}
+
+AccelConfig
+SessionBuilder::effectiveConfig() const
+{
+    AccelConfig cfg = config_;
+    if (telemetry_cfg_)
+        cfg.telemetry = *telemetry_cfg_;
+    if (telemetry_on_)
+        cfg.telemetry.enabled = *telemetry_on_;
+    if (checks_cfg_)
+        cfg.checks = *checks_cfg_;
+    if (checks_on_)
+        cfg.checks.enabled = *checks_on_;
+    return cfg;
+}
+
+Session
+SessionBuilder::build() const
+{
+    if (!graph_)
+        fatal("SessionBuilder: no dataset — call .dataset(...) first");
+    return Session(graph_, effectiveConfig(), prep_, weight_seed_);
+}
+
+SessionResult
+SessionBuilder::run() const
+{
+    Session session = build();
+    if (algo_ == "PageRank")
+        return session.pageRank(iterations_.value_or(10));
+    if (algo_ == "SCC")
+        return session.scc(iterations_.value_or(1000));
+    if (algo_ == "SSSP")
+        return session.sssp(source_, iterations_.value_or(1000));
+    if (algo_ == "BFS")
+        return session.bfs(source_, iterations_.value_or(1000));
+    if (algo_.empty())
+        fatal("SessionBuilder::run needs .algo(...): one of PageRank, "
+              "SCC, SSSP, BFS");
+    fatal("SessionBuilder: unknown algorithm \"" + algo_ +
+          "\" (expected PageRank, SCC, SSSP or BFS)");
 }
 
 } // namespace gmoms

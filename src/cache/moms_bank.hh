@@ -122,6 +122,11 @@ class MomsBank : public Component
 
     TimedQueue<ReadReq>& cpuReqIn() { return cpu_req_in_; }
     TimedQueue<ReadResp>& cpuRespOut() { return cpu_resp_out_; }
+    const TimedQueue<ReadReq>& cpuReqIn() const { return cpu_req_in_; }
+    const TimedQueue<ReadResp>& cpuRespOut() const
+    {
+        return cpu_resp_out_;
+    }
 
     void tick() override;
 
@@ -145,6 +150,10 @@ class MomsBank : public Component
     const MshrFile& mshrs() const { return *mshrs_; }
     const SubentryStore& subentries() const { return subentries_; }
     const MomsBankConfig& config() const { return cfg_; }
+
+    /** Mutable MSHR file, for the hardening-layer regression tests
+     *  (leak injection: insert() an entry nobody will ever free). */
+    MshrFile& mshrsForTest() { return *mshrs_; }
 
     void registerStats(StatRegistry& reg) const;
 

@@ -466,6 +466,12 @@ MomsSystem::tick()
             ++xbar_stats_.req_bank_busy;
             continue;
         }
+        if (faults_ && faults_->drop_next_request) {
+            faults_->drop_next_request = false;
+            xbar_req_[c]->pop();  // token vanishes: never reaches a bank
+            bank_claimed_[b] = true;
+            continue;
+        }
         bank.cpuReqIn().push(xbar_req_[c]->pop());
         bank_claimed_[b] = true;
     }
@@ -482,6 +488,11 @@ MomsSystem::tick()
         const std::uint32_t c = bank.cpuRespOut().front().client;
         if (client_claimed_[c]) {
             ++xbar_stats_.resp_conflicts;
+            continue;
+        }
+        if (faults_ && faults_->stuck_client ==
+                           static_cast<std::int32_t>(c)) {
+            ++xbar_stats_.resp_backpressure;  // credit never comes back
             continue;
         }
         if (!xbar_resp_[c]->canPush()) {
@@ -563,6 +574,62 @@ MomsSystem::totalLinesFromMem() const
     for (const auto& b : last_level)
         total += b->stats().lines_from_mem;
     return total;
+}
+
+std::uint64_t
+MomsSystem::xbarReqDepth() const
+{
+    std::uint64_t total = 0;
+    for (const auto& q : xbar_req_)
+        total += q->size();
+    return total;
+}
+
+std::uint64_t
+MomsSystem::xbarRespDepth() const
+{
+    std::uint64_t total = 0;
+    for (const auto& q : xbar_resp_)
+        total += q->size();
+    return total;
+}
+
+std::string
+MomsSystem::queueReport() const
+{
+    std::string out;
+    auto queue = [&out](const std::string& name, std::uint64_t size,
+                        std::uint64_t cap) {
+        if (size == 0)
+            return;
+        out += "  " + name + ": " + std::to_string(size) + "/" +
+               std::to_string(cap) + "\n";
+    };
+    for (std::size_t c = 0; c < xbar_req_.size(); ++c) {
+        queue("moms.xbar.req" + std::to_string(c), xbar_req_[c]->size(),
+              xbar_req_[c]->capacity());
+        queue("moms.xbar.resp" + std::to_string(c), xbar_resp_[c]->size(),
+              xbar_resp_[c]->capacity());
+    }
+    auto banks = [&](const std::vector<std::unique_ptr<MomsBank>>& bs) {
+        for (const auto& b : bs) {
+            queue(b->name() + ".req_in", b->cpuReqIn().size(),
+                  b->cpuReqIn().capacity());
+            queue(b->name() + ".resp_out", b->cpuRespOut().size(),
+                  b->cpuRespOut().capacity());
+            if (std::uint64_t occ = b->mshrs().occupancy())
+                out += "  " + b->name() + ".mshrs: " +
+                       std::to_string(occ) + "/" +
+                       std::to_string(b->mshrs().capacity()) + "\n";
+            if (std::uint64_t occ = b->subentries().occupancy())
+                out += "  " + b->name() + ".subentries: " +
+                       std::to_string(occ) + "/" +
+                       std::to_string(b->subentries().capacity()) + "\n";
+        }
+    };
+    banks(private_banks_);
+    banks(shared_banks_);
+    return out;
 }
 
 double

@@ -122,6 +122,24 @@ class MomsSystem : public Component
         std::uint64_t resp_backpressure = 0; //!< client resp queue full
     };
 
+    /**
+     * Test-only fault injection, exercised by the hardening-layer
+     * regression tests (tests/test_hardening.cc) to prove the
+     * conservation checkers actually fire. Null in production: the
+     * hooks cost one pointer test on paths already full of queue
+     * checks, and nothing at all when no shared crossbar exists.
+     */
+    struct FaultHooks
+    {
+        /** Drop the next request token popped from the request
+         *  crossbar instead of delivering it to its bank. */
+        bool drop_next_request = false;
+        /** Response-crossbar client whose credit is wedged: responses
+         *  destined to it are never pushed (counted as backpressure),
+         *  modeling a lost crossing credit. -1 disables. */
+        std::int32_t stuck_client = -1;
+    };
+
     MomsSystem(Engine& engine, MemorySystem& mem,
                std::uint32_t first_mem_port, std::uint32_t num_pes,
                const MomsConfig& cfg);
@@ -174,6 +192,19 @@ class MomsSystem : public Component
 
     const XbarStats& xbarStats() const { return xbar_stats_; }
 
+    /** Attach (or detach, with nullptr) test-only fault injection. */
+    void setFaultHooks(FaultHooks* hooks) { faults_ = hooks; }
+
+    /** In-flight tokens buffered in the request / response crossbar
+     *  queues (0 for Private: no crossbar). Used by the conservation
+     *  checkers to balance sent vs delivered tokens. */
+    std::uint64_t xbarReqDepth() const;
+    std::uint64_t xbarRespDepth() const;
+
+    /** One line per non-empty internal queue ("  <name>: n/cap"), for
+     *  watchdog diagnostic dumps; empty string when fully drained. */
+    std::string queueReport() const;
+
     void registerStats(StatRegistry& reg) const;
 
     /** Attach every level (banks, crossbar, burst assemblers) to
@@ -218,6 +249,7 @@ class MomsSystem : public Component
     std::vector<bool> client_claimed_;
 
     XbarStats xbar_stats_;
+    FaultHooks* faults_ = nullptr;
     mutable StatRegistry::Eraser stat_eraser_;
 };
 

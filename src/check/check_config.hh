@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Configuration and error type of the opt-in hardening layer
+ * (src/check/): invariant checkers, the quiescence watchdog and the
+ * shadow functional memory.
+ *
+ * This header is deliberately free-standing (no simulator includes) so
+ * AccelConfig can embed a CheckConfig without include cycles, and so
+ * callers can catch CheckError without pulling in the whole harness.
+ */
+
+#ifndef GMOMS_CHECK_CHECK_CONFIG_HH
+#define GMOMS_CHECK_CHECK_CONFIG_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gmoms
+{
+
+/**
+ * Knobs of the hardening layer, embedded as AccelConfig::checks.
+ *
+ * Cost contract (mirrors telemetry, docs/MODEL.md "Invariants &
+ * watchdog"): with enabled == false no harness component and no shadow
+ * memory are created and every hook pointer stays null — zero per-cycle
+ * cost and bit-identical results. With enabled == true the checkers
+ * only *read* simulation state, so results are still bit-identical in
+ * both engine modes; the run merely gains the right to abort with a
+ * CheckError instead of hanging or finishing silently wrong.
+ */
+struct CheckConfig
+{
+    bool enabled = false;
+
+    /**
+     * Cycles between quiescence-watchdog checkpoints. At every
+     * checkpoint the watchdog compares a progress signature (edges
+     * gathered, responses delivered, lines fetched, DRAM traffic, jobs
+     * scheduled); if nothing moved over a whole interval while the
+     * accelerator is not drained, the run is wedged — the watchdog
+     * aborts with a diagnostic dump instead of burning the remaining
+     * cycle budget.
+     */
+    std::uint64_t watchdog_interval = 100'000;
+
+    /**
+     * Verify PE memory traffic against a shadow functional memory:
+     * edge-burst payloads must match a snapshot taken at layout build
+     * (the edge section is immutable), source reads must land inside
+     * the current V_in array and writebacks inside the current V_out
+     * interval section.
+     */
+    bool shadow_memory = true;
+
+    /** When non-empty, every diagnostic dump is also written to this
+     *  file (CI uploads it as an artifact on failure). */
+    std::string dump_path;
+};
+
+/**
+ * Thrown by the hardening layer on any detected invariant violation,
+ * wedge or budget overrun. what() carries the headline and the full
+ * diagnostic dump; reason()/dump() give the two parts separately.
+ */
+class CheckError : public std::runtime_error
+{
+  public:
+    CheckError(std::string reason, std::string dump)
+        : std::runtime_error(reason + "\n" + dump),
+          reason_(std::move(reason)), dump_(std::move(dump))
+    {
+    }
+
+    const std::string& reason() const { return reason_; }
+    const std::string& dump() const { return dump_; }
+
+  private:
+    std::string reason_;
+    std::string dump_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CHECK_CHECK_CONFIG_HH

@@ -1,0 +1,84 @@
+#include "src/check/shadow_memory.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "src/check/check_config.hh"
+#include "src/graph/layout.hh"
+#include "src/mem/backing_store.hh"
+
+namespace gmoms
+{
+
+ShadowMemory::ShadowMemory(const BackingStore& store,
+                           const GraphLayout& layout, NodeId num_nodes)
+    : store_(&store), layout_(&layout), num_nodes_(num_nodes),
+      edge_base_(layout.edgeBase())
+{
+    edge_golden_.resize(layout.edgeSectionBytes());
+    store.readBytes(edge_base_, edge_golden_.data(), edge_golden_.size());
+}
+
+void
+ShadowMemory::checkEdgeSegment(Addr addr, std::uint64_t bytes) const
+{
+    if (addr < edge_base_ || addr + bytes > edge_base_ + edge_golden_.size())
+        fail("edge burst outside the edge section [" +
+                 std::to_string(edge_base_) + ", " +
+                 std::to_string(edge_base_ + edge_golden_.size()) + ")",
+             addr);
+    // Edges are immutable after layout build: a payload mismatch means a
+    // timed pipeline delivered the wrong line or something scribbled on
+    // the store underneath it.
+    scratch_.resize(bytes);
+    store_->readBytes(addr, scratch_.data(), bytes);
+    if (std::memcmp(edge_golden_.data() + (addr - edge_base_),
+                    scratch_.data(), bytes) != 0)
+        fail("edge burst payload diverged from the golden edge-section "
+             "snapshot (graph data corrupted during the run)",
+             addr);
+}
+
+void
+ShadowMemory::checkSourceRead(Addr addr) const
+{
+    // Bases are re-read on every check: swapInOut() flips V_in/V_out
+    // between iterations and a stale bound would flag legal reads.
+    const Addr base = layout_->vInBase();
+    const Addr end = base + 4ull * num_nodes_;
+    if (addr < base || addr + 4 > end || (addr & 3) != 0)
+        fail("MOMS source read outside the current V_in array [" +
+                 std::to_string(base) + ", " + std::to_string(end) + ")",
+             addr);
+}
+
+void
+ShadowMemory::checkNodeWrite(Addr addr) const
+{
+    const GraphLayout& l = *layout_;
+    const Addr base = l.synchronous() ? l.vOutBase() : l.vInBase();
+    const Addr end = base + 4ull * num_nodes_;
+    if (addr < base || addr + 4 > end || (addr & 3) != 0)
+        fail("PE writeback outside the current result array [" +
+                 std::to_string(base) + ", " + std::to_string(end) + ")",
+             addr);
+}
+
+void
+ShadowMemory::fail(const std::string& what, Addr addr) const
+{
+    std::ostringstream dump;
+    dump << "shadow memory violation at address 0x" << std::hex << addr
+         << std::dec << "\n"
+         << "  section map: V_in base " << layout_->vInBase();
+    if (layout_->synchronous())
+        dump << ", V_out base " << layout_->vOutBase();
+    if (layout_->hasConst())
+        dump << ", V_const base " << layout_->vConstBase();
+    dump << ", edges [" << layout_->edgeBase() << ", " << layout_->ptrBase()
+         << "), ptrs from " << layout_->ptrBase() << "\n"
+         << "  nodes: " << num_nodes_;
+    throw CheckError("shadow memory: " + what, dump.str());
+}
+
+} // namespace gmoms

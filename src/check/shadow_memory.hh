@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shadow functional memory: verifies the PE-visible memory traffic of a
+ * run against golden data and the layout's section map.
+ *
+ * The simulator's data/timing split (timed pipelines move only
+ * (addr, size, tag) tokens; all data lives in the BackingStore) means a
+ * timing bug cannot corrupt data directly — but an *address* bug can
+ * silently read the wrong section or scribble over the graph. The
+ * shadow memory catches exactly that class:
+ *
+ *  - edge-burst payloads must match a snapshot of the edge section
+ *    taken right after layout build (edges are immutable for the whole
+ *    run, so any divergence is corruption);
+ *  - source reads served by the MOMS must land inside the current V_in
+ *    node array (live through swaps: bases are re-read per check);
+ *  - PE writebacks must land inside the current V_out array.
+ *
+ * Only created when AccelConfig::checks asks for it; PEs hold a null
+ * pointer otherwise (zero cost when off). All checks are reads — they
+ * can never perturb simulation results.
+ */
+
+#ifndef GMOMS_CHECK_SHADOW_MEMORY_HH
+#define GMOMS_CHECK_SHADOW_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+class BackingStore;
+class GraphLayout;
+
+class ShadowMemory
+{
+  public:
+    /** Snapshot the immutable edge section of @p store; call after
+     *  GraphLayout::build(). @p num_nodes sizes the node arrays. */
+    ShadowMemory(const BackingStore& store, const GraphLayout& layout,
+                 NodeId num_nodes);
+
+    /** An edge burst of @p bytes at @p addr arrived at a PE: the range
+     *  must lie in the edge section and match the golden snapshot. */
+    void checkEdgeSegment(Addr addr, std::uint64_t bytes) const;
+
+    /** The MOMS answered a source read at @p addr: must lie in the
+     *  current V_in array (bases re-read, so array swaps are honored). */
+    void checkSourceRead(Addr addr) const;
+
+    /** A PE writeback targets @p addr: must lie in the current V_out
+     *  array. */
+    void checkNodeWrite(Addr addr) const;
+
+  private:
+    [[noreturn]] void fail(const std::string& what, Addr addr) const;
+
+    const BackingStore* store_;
+    const GraphLayout* layout_;
+    NodeId num_nodes_;
+    Addr edge_base_ = 0;
+    std::vector<std::uint8_t> edge_golden_;  //!< [edgeBase, ptrBase)
+    mutable std::vector<std::uint8_t> scratch_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CHECK_SHADOW_MEMORY_HH

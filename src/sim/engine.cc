@@ -15,7 +15,18 @@ bool
 envFullTick()
 {
     const char* e = std::getenv("GMOMS_FULL_TICK");
-    return e != nullptr && e[0] != '\0' && e[0] != '0';
+    if (e == nullptr || e[0] == '\0')
+        return false;
+    const std::string v(e);
+    // Fail loudly on anything else: a typo like GMOMS_FULL_TICK=ture
+    // must not silently pick a mode (either one looks plausible in the
+    // output — the two engines are bit-exact).
+    if (v == "0")
+        return false;
+    if (v == "1")
+        return true;
+    fatal("GMOMS_FULL_TICK must be \"\", \"0\" or \"1\", got \"" + v +
+          "\"");
 }
 
 } // namespace

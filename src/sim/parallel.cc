@@ -5,6 +5,8 @@
 #include <exception>
 #include <limits>
 
+#include "src/sim/log.hh"
+
 namespace gmoms
 {
 
@@ -58,8 +60,17 @@ ThreadPool::parseWorkers(const char* value)
 unsigned
 ThreadPool::defaultWorkers()
 {
-    if (unsigned n = parseWorkers(std::getenv("GMOMS_JOBS")))
+    const char* env = std::getenv("GMOMS_JOBS");
+    if (env != nullptr && env[0] != '\0') {
+        const unsigned n = parseWorkers(env);
+        // Fail loudly: "GMOMS_JOBS=eight" silently running with one
+        // worker per core is exactly the wrong-but-plausible fallback
+        // a sweep user would never notice.
+        if (n == 0)
+            fatal("GMOMS_JOBS must be a positive integer worker count, "
+                  "got \"" + std::string(env) + "\"");
         return n;
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw != 0 ? hw : 1;
 }

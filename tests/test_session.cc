@@ -17,11 +17,8 @@ namespace
 AccelConfig
 smallConfig()
 {
-    AccelConfig cfg;
-    cfg.num_pes = 4;
-    cfg.num_channels = 2;
-    cfg.moms = MomsConfig::twoLevel(4);
-    return cfg;
+    return AccelConfig::preset(MomsConfig::twoLevel(4), /*pes=*/4,
+                               /*channels=*/2);
 }
 
 TEST(Session, IdMappingIsABijection)
