@@ -19,12 +19,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
-#include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <tuple>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -37,6 +34,7 @@
 #include "src/graph/generator.hh"
 #include "src/graph/reorder.hh"
 #include "src/obs/trace_export.hh"
+#include "src/serve/dataset_cache.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/report.hh"
 
@@ -95,56 +93,24 @@ convergenceCap()
 
 /** Immutable, shareable dataset handle (one build per process, all
  *  sweep workers reference the same graph). */
-using DatasetPtr = std::shared_ptr<const CooGraph>;
+using DatasetPtr = serve::DatasetPtr;
 
 /**
- * Build a dataset stand-in with the paper-default preprocessing.
- * Results are memoized per (tag, prep, nd) within the bench process
- * and returned by shared pointer, so parallel sweep workers neither
- * copy multi-MB graphs per run nor duplicate preprocessing: the first
- * caller of a key builds, every concurrent caller of the same key
- * waits on that one build (per-key once population).
+ * Build a dataset stand-in with the paper-default preprocessing,
+ * served from the process-wide serve::DatasetCache: one build per
+ * (tag, prep, nd) key with concurrent callers waiting on that build
+ * (the PR-2 once-per-key contract), shared by pointer so sweep workers
+ * never copy multi-MB graphs — but now under an LRU byte budget
+ * (GMOMS_DATASET_CACHE_MB) instead of unbounded process-lifetime
+ * memoization. Rebuilds after eviction are bit-identical, so sweep
+ * outputs stay byte-stable (test_sweep_determinism).
  */
 inline DatasetPtr
 loadDataset(const std::string& tag,
             Preprocessing prep = Preprocessing::DbgHash,
             std::uint32_t nd_hint = 0)
 {
-    using Key = std::tuple<std::string, int, std::uint32_t>;
-    static std::mutex mu;
-    static std::map<Key, std::shared_future<DatasetPtr>> cache;
-
-    const Key key{tag, static_cast<int>(prep), nd_hint};
-    std::promise<DatasetPtr> build;
-    std::shared_future<DatasetPtr> ready;
-    bool builder = false;
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        auto [it, inserted] = cache.try_emplace(key);
-        if (inserted) {
-            it->second = build.get_future().share();
-            builder = true;
-        }
-        ready = it->second;
-    }
-    if (builder) {
-        try {
-            const DatasetProfile& profile = datasetByTag(tag);
-            CooGraph g = buildDataset(profile);
-            const std::uint32_t nd =
-                nd_hint ? nd_hint
-                        : defaultIntervalsFor(g.numNodes(),
-                                              g.numEdges())
-                              .first;
-            CooGraph out = applyPreprocessing(g, prep, nd);
-            out.name = tag;
-            build.set_value(
-                std::make_shared<const CooGraph>(std::move(out)));
-        } catch (...) {
-            build.set_exception(std::current_exception());
-        }
-    }
-    return ready.get();
+    return serve::DatasetCache::process().get(tag, prep, nd_hint);
 }
 
 /** Algorithm factory by name for the three paper kernels. */

@@ -45,8 +45,8 @@ validateBank(const char* which, const MomsBankConfig& b,
 
 } // namespace
 
-void
-AccelConfig::validate() const
+std::vector<std::string>
+AccelConfig::validateProblems() const
 {
     std::vector<std::string> problems;
 
@@ -116,6 +116,13 @@ AccelConfig::validate() const
         problems.push_back("checks.watchdog_interval must be > 0 when "
                            "checks are enabled");
 
+    return problems;
+}
+
+void
+AccelConfig::validate() const
+{
+    const std::vector<std::string> problems = validateProblems();
     if (problems.empty())
         return;
     std::string msg = "invalid AccelConfig (" + label() + "):";

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <utility>
 #include <string>
+#include <vector>
 
 #include "src/cache/moms_system.hh"
 #include "src/check/check_config.hh"
@@ -89,6 +90,14 @@ struct AccelConfig
      * vet a config before a long sweep.
      */
     void validate() const;
+
+    /**
+     * The non-throwing form of validate(): every violated constraint as
+     * one actionable message, empty when the config is sound. The
+     * serving layer's admission control folds these into its structured
+     * JobSpec rejection instead of failing mid-run.
+     */
+    std::vector<std::string> validateProblems() const;
 
     // -- named presets (single source of truth; see ISSUE 4) -------------
 

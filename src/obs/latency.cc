@@ -1,0 +1,73 @@
+#include "src/obs/latency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmoms
+{
+
+void
+LatencyStats::add(double seconds)
+{
+    samples_.push_back(seconds);
+}
+
+void
+LatencyStats::merge(const LatencyStats& other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+}
+
+double
+LatencyStats::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+LatencyStats::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+LatencyStats::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    // Nearest-rank: ceil(p/100 * N), 1-based; rank 1 at p == 0.
+    const std::size_t n = sorted.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                     sorted.end());
+    return sorted[rank - 1];
+}
+
+void
+appendLatency(JsonReport& report, const std::string& prefix,
+              const LatencyStats& stats)
+{
+    report.set(prefix + "_count",
+               static_cast<std::uint64_t>(stats.count()))
+        .set(prefix + "_mean_s", stats.mean())
+        .set(prefix + "_max_s", stats.max())
+        .set(prefix + "_p50_s", stats.percentile(50))
+        .set(prefix + "_p95_s", stats.percentile(95))
+        .set(prefix + "_p99_s", stats.percentile(99));
+}
+
+} // namespace gmoms

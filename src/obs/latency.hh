@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Service-level latency accounting for the serving layer (src/serve/).
+ *
+ * The PR-3 telemetry stack measures *inside* one simulation in cycle
+ * space; a serving layer additionally needs wall-clock distributions
+ * *across* jobs (queue wait, preprocessing, simulation, end-to-end) and
+ * a throughput figure. LatencyStats is the smallest thing that covers
+ * that: an exact sample store with nearest-rank percentiles — sample
+ * counts at serving scale (thousands of jobs) are far below the point
+ * where sketches would pay for their approximation error.
+ *
+ * Thread-compat, not thread-safe: the service updates its instances
+ * under its own mutex and hands copies out of stats().
+ */
+
+#ifndef GMOMS_OBS_LATENCY_HH
+#define GMOMS_OBS_LATENCY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sim/report.hh"
+
+namespace gmoms
+{
+
+class LatencyStats
+{
+  public:
+    void add(double seconds);
+    void merge(const LatencyStats& other);
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+    double max() const;
+
+    /**
+     * Nearest-rank percentile, @p p in [0, 100]: the smallest sample
+     * such that at least p% of samples are <= it (p50/p95/p99 of the
+     * serving SLO report). 0 when no samples were recorded.
+     */
+    double percentile(double p) const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+/** Append @p stats under @p prefix as prefix_{count,mean,max,p50,p95,
+ *  p99} — the SLO block every serving report shares. */
+void appendLatency(JsonReport& report, const std::string& prefix,
+                   const LatencyStats& stats);
+
+} // namespace gmoms
+
+#endif // GMOMS_OBS_LATENCY_HH

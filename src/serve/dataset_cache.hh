@@ -1,0 +1,118 @@
+/**
+ * @file
+ * DatasetCache: bounded, shared, immutable dataset store for the
+ * serving layer and the bench sweeps.
+ *
+ * Replaces bench_common::loadDataset's unbounded process-lifetime
+ * memoization with an LRU cache under an explicit byte budget: a
+ * long-running service (or a long sweep over many datasets and
+ * preprocessing variants) no longer grows memory without bound.
+ *
+ * Semantics:
+ *  - Keyed by (tag, preprocessing, nd hint); the cached value is the
+ *    fully built + preprocessed graph, shared immutably by pointer —
+ *    every concurrent session/sweep worker references one build.
+ *  - One build per key: the first caller of a missing key builds, every
+ *    concurrent caller of the same key waits on that one build (the
+ *    PR-2 once-per-key contract, preserved).
+ *  - Eviction is LRU over *completed* entries and only drops the
+ *    cache's reference: jobs still holding the shared_ptr keep their
+ *    graph alive, so an eviction can never invalidate a running job.
+ *  - A rebuilt entry is bit-identical to the evicted one (dataset
+ *    builds are deterministic in their seed), so eviction is invisible
+ *    to results — only to latency. test_serve pins this.
+ *  - The most recently inserted entry is never evicted by its own
+ *    insertion: a single dataset larger than the budget stays cached
+ *    (over budget) until something newer lands.
+ *
+ * budget_bytes == 0 means unbounded (the old memoization behavior).
+ */
+
+#ifndef GMOMS_SERVE_DATASET_CACHE_HH
+#define GMOMS_SERVE_DATASET_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "src/graph/coo.hh"
+#include "src/graph/reorder.hh"
+
+namespace gmoms::serve
+{
+
+using DatasetPtr = std::shared_ptr<const CooGraph>;
+
+/** Estimated resident size of a built dataset (edge store dominates). */
+std::uint64_t datasetBytes(const CooGraph& g);
+
+class DatasetCache
+{
+  public:
+    explicit DatasetCache(std::uint64_t budget_bytes = 0);
+
+    /**
+     * The preprocessed stand-in for Table II dataset @p tag (see
+     * bench_common::loadDataset, which now delegates here): built on
+     * first use with @p prep applied at interval size @p nd_hint (0 =
+     * dataset-geometry default), then served from cache until evicted.
+     */
+    DatasetPtr get(const std::string& tag,
+                   Preprocessing prep = Preprocessing::DbgHash,
+                   std::uint32_t nd_hint = 0);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;      //!< builds started
+        std::uint64_t evictions = 0;
+        std::uint64_t entries = 0;     //!< currently cached keys
+        std::uint64_t bytes = 0;       //!< sum of completed entries
+        std::uint64_t budget_bytes = 0;
+    };
+
+    Stats stats() const;
+
+    std::uint64_t budgetBytes() const { return budget_; }
+
+    /**
+     * Process-wide instance backing bench_common::loadDataset. Budget
+     * from GMOMS_DATASET_CACHE_MB (default 2048 MB — roomy enough that
+     * the bench suite never evicts and sweep outputs stay byte-stable,
+     * bounded enough that a runaway sweep cannot eat the host).
+     */
+    static DatasetCache& process();
+
+  private:
+    struct Entry
+    {
+        std::shared_future<DatasetPtr> ready;
+        std::uint64_t bytes = 0;   //!< 0 while still building
+        std::uint64_t last_use = 0;
+        bool building = true;
+    };
+
+    using Key = std::tuple<std::string, int, std::uint32_t>;
+
+    /** Drop LRU completed entries until within budget; never touches
+     *  in-flight builds or @p keep. Caller holds mu_. */
+    void evictLocked(const Key& keep);
+
+    const std::uint64_t budget_;
+
+    mutable std::mutex mu_;
+    std::map<Key, Entry> cache_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace gmoms::serve
+
+#endif // GMOMS_SERVE_DATASET_CACHE_HH

@@ -1,0 +1,92 @@
+#include "src/serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "src/sim/log.hh"
+
+namespace gmoms::serve
+{
+
+std::vector<std::string>
+AdmissionQueue::tryAdmit(JobId id, const std::string& tenant,
+                         std::uint32_t priority)
+{
+    std::vector<std::string> reasons;
+    if (ready_.size() >= max_queue_depth_)
+        reasons.push_back(
+            "queue saturated: " + std::to_string(ready_.size()) +
+            " jobs already waiting (max_queue_depth = " +
+            std::to_string(max_queue_depth_) + "); retry later");
+    const auto it = tenants_.find(tenant);
+    const std::size_t in_system =
+        it == tenants_.end() ? 0 : it->second.in_system;
+    if (per_tenant_quota_ > 0 && in_system >= per_tenant_quota_)
+        reasons.push_back(
+            "tenant \"" + tenant + "\" at quota: " +
+            std::to_string(in_system) +
+            " jobs in the system (per_tenant_quota = " +
+            std::to_string(per_tenant_quota_) + ")");
+    if (!reasons.empty())
+        return reasons;
+
+    ready_.push_back(ReadyJob{id, tenant, priority});
+    ++tenants_[tenant].in_system;
+    return {};
+}
+
+std::optional<JobId>
+AdmissionQueue::pop()
+{
+    if (ready_.empty())
+        return std::nullopt;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready_.size(); ++i) {
+        const ReadyJob& a = ready_[i];
+        const ReadyJob& b = ready_[best];
+        if (a.priority != b.priority) {
+            if (a.priority > b.priority)
+                best = i;
+            continue;
+        }
+        const std::uint64_t da = tenants_[a.tenant].dispatched;
+        const std::uint64_t db = tenants_[b.tenant].dispatched;
+        if (da != db) {
+            if (da < db)
+                best = i;
+            continue;
+        }
+        if (a.id < b.id)
+            best = i;
+    }
+    const ReadyJob job = ready_[best];
+    ready_.erase(ready_.begin() +
+                 static_cast<std::ptrdiff_t>(best));
+    ++tenants_[job.tenant].dispatched;
+    running_.emplace(job.id, job.tenant);
+    ++running_total_;
+    return job.id;
+}
+
+void
+AdmissionQueue::complete(JobId id)
+{
+    const auto it = running_.find(id);
+    if (it == running_.end())
+        panic("AdmissionQueue::complete: job " + std::to_string(id) +
+              " is not running");
+    auto tenant = tenants_.find(it->second);
+    if (tenant == tenants_.end() || tenant->second.in_system == 0)
+        panic("AdmissionQueue::complete: tenant accounting underflow");
+    --tenant->second.in_system;
+    --running_total_;
+    running_.erase(it);
+}
+
+std::uint64_t
+AdmissionQueue::dispatched(const std::string& tenant) const
+{
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.dispatched;
+}
+
+} // namespace gmoms::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * AdmissionQueue: bounded admission control + deterministic priority
+ * scheduling with per-tenant fairness for the serving layer.
+ *
+ * This is deliberately a pure data structure (no threads, no clocks,
+ * externally synchronized by GraphService's mutex): every decision is a
+ * function of the submission/dispatch history alone, which is what
+ * makes the service's dispatch order reproducible — and unit-testable
+ * without a worker pool.
+ *
+ * Admission (tryAdmit) rejects with *reasons*, never silently drops:
+ *  - the ready queue is bounded (max_queue_depth): saturation pushes
+ *    back on submitters instead of buffering unboundedly;
+ *  - each tenant may hold at most per_tenant_quota jobs in the system
+ *    (queued + running): one tenant cannot monopolize the queue.
+ *
+ * Dispatch (pop) picks, deterministically:
+ *  1. the highest priority value present,
+ *  2. within it, the tenant with the fewest dispatches so far
+ *     (deficit-style fairness: a monotone per-tenant dispatch counter),
+ *  3. within that, the lowest job id (FIFO per tenant, and a total
+ *     tie-break so the order never depends on map iteration).
+ */
+
+#ifndef GMOMS_SERVE_SCHEDULER_HH
+#define GMOMS_SERVE_SCHEDULER_HH
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/serve/job.hh"
+
+namespace gmoms::serve
+{
+
+class AdmissionQueue
+{
+  public:
+    AdmissionQueue(std::size_t max_queue_depth,
+                   std::size_t per_tenant_quota)
+        : max_queue_depth_(max_queue_depth),
+          per_tenant_quota_(per_tenant_quota)
+    {
+    }
+
+    /**
+     * Admit job @p id (@p tenant, @p priority) into the ready queue.
+     * Returns the empty vector on success, else every admission-control
+     * reason that applies (the caller folds these into the structured
+     * rejection).
+     */
+    std::vector<std::string> tryAdmit(JobId id,
+                                      const std::string& tenant,
+                                      std::uint32_t priority);
+
+    /** Next job to dispatch per the policy above; nullopt when the
+     *  ready queue is empty. Moves the job to running state. */
+    std::optional<JobId> pop();
+
+    /** Job @p id (dispatched earlier) reached a terminal state. */
+    void complete(JobId id);
+
+    std::size_t queued() const { return ready_.size(); }
+    std::size_t running() const { return running_total_; }
+    bool idle() const { return ready_.empty() && running_total_ == 0; }
+
+    /** Dispatches so far for @p tenant (fairness counter; tests). */
+    std::uint64_t dispatched(const std::string& tenant) const;
+
+  private:
+    struct ReadyJob
+    {
+        JobId id;
+        std::string tenant;
+        std::uint32_t priority;
+    };
+
+    struct TenantState
+    {
+        std::size_t in_system = 0;    //!< queued + running
+        std::uint64_t dispatched = 0; //!< monotone fairness counter
+    };
+
+    const std::size_t max_queue_depth_;
+    const std::size_t per_tenant_quota_;
+
+    std::vector<ReadyJob> ready_;
+    std::map<JobId, std::string> running_;  //!< id -> tenant
+    std::size_t running_total_ = 0;
+    std::map<std::string, TenantState> tenants_;
+};
+
+} // namespace gmoms::serve
+
+#endif // GMOMS_SERVE_SCHEDULER_HH

@@ -1,0 +1,329 @@
+#include "src/serve/service.hh"
+
+#include <utility>
+
+#include "src/accel/session.hh"
+#include "src/check/check_config.hh"
+#include "src/sim/log.hh"
+
+namespace gmoms::serve
+{
+
+namespace
+{
+
+/** The fallback config the service constructor resolves once: the
+ *  named preset with the fallback budget and the watchdog folded in. */
+AccelConfig
+resolveFallback(const ServiceConfig& cfg)
+{
+    AccelConfig fb = presetByName(cfg.fallback_preset);
+    if (cfg.fallback_budget > 0)
+        fb.max_cycles = cfg.fallback_budget;
+    fb.checks.enabled = true;
+    return fb;
+}
+
+} // namespace
+
+JsonReport
+ServiceStats::report() const
+{
+    JsonReport r;
+    r.set("submitted", submitted)
+        .set("rejected", rejected)
+        .set("completed", completed)
+        .set("degraded", degraded)
+        .set("failed", failed)
+        .set("retries", retries)
+        .set("fallback_runs", fallback_runs)
+        .set("rejection_rate", rejectionRate())
+        .set("jobs_per_sec", jobsPerSecond())
+        .set("wall_seconds", wall_seconds);
+    appendLatency(r, "queue_wait", queue_wait);
+    appendLatency(r, "prep", prep);
+    appendLatency(r, "sim", sim);
+    appendLatency(r, "total", total);
+    r.set("cache_hits", cache.hits)
+        .set("cache_misses", cache.misses)
+        .set("cache_evictions", cache.evictions)
+        .set("cache_bytes", cache.bytes);
+    return r;
+}
+
+GraphService::GraphService(ServiceConfig cfg)
+    : cfg_(cfg), fallback_config_(resolveFallback(cfg)),
+      cache_(cfg.cache_budget_bytes), pool_(cfg.workers),
+      queue_(cfg.max_queue_depth, cfg.per_tenant_quota),
+      paused_(cfg.start_paused)
+{
+}
+
+GraphService::~GraphService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closing_ = true;
+    }
+    drain();
+    // The pool joins its workers after this (members declared before
+    // pool_ stay alive until then; drain() already guaranteed no
+    // drainer is still inside drainerLoop).
+}
+
+GraphService::Submitted
+GraphService::submit(JobSpec spec)
+{
+    Submitted out;
+    ValidatedJob valid = validateJobSpec(spec);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    std::vector<std::string> reasons;
+    if (closing_)
+        reasons.push_back("service is shutting down");
+    for (std::string& p : valid.problems)
+        reasons.push_back(std::move(p));
+    if (reasons.empty())
+        reasons = queue_.tryAdmit(next_id_, spec.tenant, spec.priority);
+    if (!reasons.empty()) {
+        ++stats_.rejected;
+        out.rejected = std::move(reasons);
+        return out;
+    }
+
+    const JobId id = next_id_++;
+    Job& job = jobs_[id];
+    job.spec = std::move(spec);
+    job.config = std::move(valid.config);
+    job.rec.id = id;
+    job.rec.tenant = job.spec.tenant;
+    job.rec.dataset = job.spec.dataset;
+    job.rec.algo = job.spec.algo;
+    job.rec.priority = job.spec.priority;
+    job.admitted.restart();
+    if (!paused_)
+        spawnDrainersLocked();
+    out.id = id;
+    return out;
+}
+
+std::optional<JobRecord>
+GraphService::poll(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return it->second.rec;
+}
+
+void
+GraphService::resume()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    spawnDrainersLocked();
+}
+
+std::uint64_t
+GraphService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = false;
+    spawnDrainersLocked();
+    idle_cv_.wait(lock, [&] {
+        return queue_.idle() && finished_.empty() &&
+               active_drainers_ == 0;
+    });
+    return stats_.terminal();
+}
+
+std::vector<JobId>
+GraphService::completionLog() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return completion_log_;
+}
+
+ServiceStats
+GraphService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServiceStats s = stats_;
+    s.wall_seconds = lifetime_.elapsedSeconds();
+    s.cache = cache_.stats();
+    return s;
+}
+
+void
+GraphService::spawnDrainersLocked()
+{
+    while (active_drainers_ < pool_.workers() &&
+           active_drainers_ < queue_.queued()) {
+        ++active_drainers_;
+        pool_.post([this] { drainerLoop(); });
+    }
+}
+
+void
+GraphService::publishReadyLocked()
+{
+    while (true) {
+        const auto it = finished_.find(next_publish_);
+        if (it == finished_.end())
+            break;
+        const JobId id = it->second;
+        finished_.erase(it);
+        ++next_publish_;
+        completion_log_.push_back(id);
+
+        const JobRecord& rec = jobs_.at(id).rec;
+        switch (rec.state) {
+          case JobState::Completed:
+            ++stats_.completed;
+            break;
+          case JobState::Degraded:
+            ++stats_.degraded;
+            break;
+          case JobState::Failed:
+            ++stats_.failed;
+            break;
+          default:
+            panic("published job " + std::to_string(id) +
+                  " is not terminal");
+        }
+        stats_.queue_wait.add(rec.queue_seconds);
+        stats_.prep.add(rec.prep_seconds);
+        stats_.sim.add(rec.sim_seconds);
+        stats_.total.add(rec.total_seconds);
+    }
+}
+
+void
+GraphService::runAttempt(const JobSpec& spec, const AccelConfig& cfg,
+                         const DatasetPtr& dataset, JobRecord& rec)
+{
+    ++rec.attempts;
+    WallTimer timer;
+    // The dataset arrives preprocessed from the cache, so the session
+    // adds no preprocessing; sharing the pointer keeps the graph alive
+    // across a concurrent cache eviction.
+    Session session =
+        SessionBuilder().dataset(dataset).config(cfg).build();
+
+    SessionResult res;
+    if (spec.algo == "PageRank")
+        res = session.pageRank(spec.iterations ? spec.iterations : 10);
+    else if (spec.algo == "SCC")
+        res = session.scc(spec.iterations ? spec.iterations : 1000);
+    else if (spec.algo == "SSSP")
+        res = session.sssp(spec.source,
+                           spec.iterations ? spec.iterations : 1000);
+    else if (spec.algo == "BFS")
+        res = session.bfs(spec.source,
+                          spec.iterations ? spec.iterations : 1000);
+    else
+        fatal("unknown algorithm " + spec.algo);  // caught upstream
+
+    rec.sim_seconds = timer.elapsedSeconds();
+    rec.cycles = res.run.cycles;
+    rec.iterations = res.run.iterations;
+    rec.edges_processed = res.run.edges_processed;
+    rec.dram_bytes_read = res.run.dram_bytes_read;
+    rec.dram_bytes_written = res.run.dram_bytes_written;
+    rec.moms_hit_rate = res.run.moms_hit_rate;
+    rec.gteps = res.gteps;
+    rec.values_checksum = valuesChecksum(res.run.raw_values);
+}
+
+void
+GraphService::drainerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!paused_) {
+        const std::optional<JobId> popped = queue_.pop();
+        if (!popped)
+            break;
+        const JobId id = *popped;
+        Job& job = jobs_.at(id);
+        job.dispatch_idx = dispatch_count_++;
+        job.rec.state = JobState::Running;
+        job.rec.queue_seconds = job.admitted.elapsedSeconds();
+
+        // Everything the run needs, copied out so the simulation never
+        // holds the service lock.
+        JobRecord rec = job.rec;
+        const JobSpec spec = job.spec;
+        const AccelConfig requested = job.config;
+        lock.unlock();
+
+        std::uint64_t retries = 0;
+        std::uint64_t fallback_runs = 0;
+        WallTimer prep_timer;
+        DatasetPtr dataset;
+        try {
+            dataset = cache_.get(spec.dataset, spec.prep);
+            rec.prep_seconds = prep_timer.elapsedSeconds();
+
+            // 1 + max_retries attempts as requested, then (optionally)
+            // one degraded attempt on the fallback preset.
+            bool done = false;
+            for (std::uint32_t attempt = 0;
+                 attempt <= spec.max_retries && !done; ++attempt) {
+                if (attempt > 0)
+                    ++retries;
+                try {
+                    runAttempt(spec, requested, dataset, rec);
+                    rec.state = JobState::Completed;
+                    rec.error.clear();
+                    done = true;
+                } catch (const CheckError& e) {
+                    // Headline only: the multi-KB diagnostic dump does
+                    // not belong in a serving record (dump_path keeps
+                    // it when configured).
+                    rec.error = e.reason();
+                } catch (const std::exception& e) {
+                    rec.error = e.what();
+                }
+            }
+            if (!done && cfg_.enable_fallback) {
+                ++fallback_runs;
+                try {
+                    runAttempt(spec, fallback_config_, dataset, rec);
+                    rec.state = JobState::Degraded;
+                    rec.used_fallback = true;
+                    done = true;
+                } catch (const CheckError& e) {
+                    rec.error = e.reason();
+                } catch (const std::exception& e) {
+                    rec.error = e.what();
+                }
+            }
+            if (!done)
+                rec.state = JobState::Failed;
+        } catch (const std::exception& e) {
+            rec.prep_seconds = prep_timer.elapsedSeconds();
+            rec.state = JobState::Failed;
+            rec.error = std::string("dataset build failed: ") +
+                        e.what();
+        }
+
+        lock.lock();
+        Job& finished_job = jobs_.at(id);
+        rec.total_seconds = finished_job.admitted.elapsedSeconds();
+        finished_job.rec = rec;
+        stats_.retries += retries;
+        stats_.fallback_runs += fallback_runs;
+        queue_.complete(id);
+        finished_[finished_job.dispatch_idx] = id;
+        publishReadyLocked();
+        if (queue_.idle() && finished_.empty())
+            idle_cv_.notify_all();
+    }
+    --active_drainers_;
+    if (active_drainers_ == 0 && queue_.idle() && finished_.empty())
+        idle_cv_.notify_all();
+}
+
+} // namespace gmoms::serve

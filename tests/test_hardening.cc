@@ -379,25 +379,25 @@ TEST(Hardening, HealthyRunPassesDrainAudit)
 // SessionBuilder entry point
 // ---------------------------------------------------------------------
 
-TEST(Hardening, BuilderRunMatchesGraphSessionShim)
+TEST(Hardening, BuilderRunMatchesDirectSessionConstruction)
 {
     CooGraph g = uniformRandom(400, 3000, 33);
 
-    GraphSession legacy(CooGraph(g), smallSharedConfig());
-    SessionResult via_shim = legacy.pageRank(4);
+    Session direct(std::make_shared<const CooGraph>(g),
+                   smallSharedConfig(), Preprocessing::DbgHash);
+    SessionResult via_direct = direct.pageRank(4);
 
     SessionResult via_builder =
         SessionBuilder()
             .dataset(std::move(g))
             .config(smallSharedConfig())
             .preprocessing(Preprocessing::DbgHash)
-            .weightSeed(0x5e5e5e)
             .algo("PageRank")
             .iterations(4)
             .run();
 
-    EXPECT_EQ(via_shim.run.cycles, via_builder.run.cycles);
-    EXPECT_EQ(via_shim.run.raw_values, via_builder.run.raw_values);
+    EXPECT_EQ(via_direct.run.cycles, via_builder.run.cycles);
+    EXPECT_EQ(via_direct.run.raw_values, via_builder.run.raw_values);
 }
 
 TEST(Hardening, BuilderRejectsBadInput)

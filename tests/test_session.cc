@@ -1,6 +1,6 @@
 /**
  * @file
- * Tests for the high-level GraphSession driver API.
+ * Tests for the high-level Session / SessionBuilder driver API.
  */
 
 #include <gtest/gtest.h>
@@ -21,10 +21,24 @@ smallConfig()
                                /*channels=*/2);
 }
 
+/** A session with the historical driver defaults (paper-default
+ *  DbgHash preprocessing); @p g is copied so callers can keep using
+ *  the original for golden comparisons. */
+Session
+makeSession(const CooGraph& g,
+            Preprocessing prep = Preprocessing::DbgHash)
+{
+    return SessionBuilder()
+        .dataset(CooGraph(g))
+        .config(smallConfig())
+        .preprocessing(prep)
+        .build();
+}
+
 TEST(Session, IdMappingIsABijection)
 {
     CooGraph g = rmat(10, 4000, RmatParams{}, 3);
-    GraphSession session(g, smallConfig());
+    Session session = makeSession(g);
     for (NodeId n = 0; n < g.numNodes(); n += 37)
         EXPECT_EQ(session.originalId(session.internalId(n)), n);
     EXPECT_THROW(session.internalId(g.numNodes()), FatalError);
@@ -33,7 +47,7 @@ TEST(Session, IdMappingIsABijection)
 TEST(Session, SccValuesTranslateBackToOriginalLabels)
 {
     CooGraph g = rmat(10, 6000, RmatParams{}, 7);
-    GraphSession session(g, smallConfig());
+    Session session = makeSession(g);
     SessionResult res = session.scc();
     // Golden on the ORIGINAL graph; session values are in internal
     // label space: translate both ways and compare component
@@ -54,7 +68,7 @@ TEST(Session, SccValuesTranslateBackToOriginalLabels)
 TEST(Session, BfsDepthsMatchGoldenThroughTheMapping)
 {
     CooGraph g = rmat(9, 3000, RmatParams{}, 11);
-    GraphSession session(g, smallConfig());
+    Session session = makeSession(g);
     const NodeId source = 5;
     SessionResult res = session.bfs(source);
     auto golden = goldenBfs(g, source);
@@ -71,7 +85,7 @@ TEST(Session, PageRankScoresSumToOne)
     for (NodeId i = 0; i < g.numNodes(); ++i)
         if (od[i] == 0)
             g.addEdge(i, (i + 1) % g.numNodes());
-    GraphSession session(g, smallConfig());
+    Session session = makeSession(g);
     SessionResult res = session.pageRank(8);
     double sum = 0;
     for (double v : res.values)
@@ -85,7 +99,7 @@ TEST(Session, PageRankScoresSumToOne)
 TEST(Session, MultipleAlgorithmsReuseOnePreprocessing)
 {
     CooGraph g = rmat(10, 5000, RmatParams{}, 17);
-    GraphSession session(g, smallConfig());
+    Session session = makeSession(g);
     SessionResult a = session.scc();
     SessionResult b = session.bfs(0);
     SessionResult c = session.sssp(0);
@@ -99,14 +113,18 @@ TEST(Session, MultipleAlgorithmsReuseOnePreprocessing)
 TEST(Session, NonePreprocessingKeepsLabels)
 {
     CooGraph g = uniformRandom(100, 500, 19);
-    GraphSession session(g, smallConfig(), Preprocessing::None);
+    Session session = makeSession(g, Preprocessing::None);
     for (NodeId n = 0; n < g.numNodes(); ++n)
         EXPECT_EQ(session.internalId(n), n);
 }
 
 TEST(Session, RejectsEmptyGraph)
 {
-    EXPECT_THROW(GraphSession(CooGraph(0), smallConfig()), FatalError);
+    EXPECT_THROW(SessionBuilder()
+                     .dataset(CooGraph(0))
+                     .config(smallConfig())
+                     .build(),
+                 FatalError);
 }
 
 } // namespace

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * gmoms_serve: the serving layer as a process — JSON-lines over
+ * stdin/stdout (one request object per line, one response object per
+ * line), so external drivers and shell scripts can push jobs through
+ * GraphService without linking the library.
+ *
+ * Requests ("op" selects the verb):
+ *   {"op":"submit","tenant":"a","dataset":"WT","algo":"PageRank",
+ *    "prep":"dbg+hash","iterations":10,"source":0,
+ *    "preset":"paper18x16","priority":2,"cycle_budget":0,
+ *    "max_retries":1,"checks":true,"telemetry":false}
+ *   {"op":"poll","id":3}
+ *   {"op":"stats"}
+ *   {"op":"drain"}
+ *   {"op":"quit"}
+ *
+ * Every response carries "op" (echo) and "ok". A rejected submit is
+ * NOT a protocol error: it returns ok=false plus the full "rejected"
+ * reason list, mirroring GraphService::Submitted. Malformed JSON or an
+ * unknown op returns ok=false with "error".
+ *
+ * Flags: --workers N, --paused (batch mode: dispatch only on drain),
+ * --queue-depth N, --quota N, --cache-mb N, --no-fallback.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_check.hh"
+#include "src/serve/service.hh"
+
+using namespace gmoms;
+using namespace gmoms::serve;
+
+namespace
+{
+
+/** Serialize a reason list as a JSON array of strings. */
+std::string
+jsonStringArray(const std::vector<std::string>& items)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            os << ",";
+        JsonReport::writeEscaped(os, items[i]);
+    }
+    os << "]";
+    return os.str();
+}
+
+std::optional<Preprocessing>
+prepByName(const std::string& name)
+{
+    if (name == "none")
+        return Preprocessing::None;
+    if (name == "hash")
+        return Preprocessing::Hash;
+    if (name == "dbg")
+        return Preprocessing::Dbg;
+    if (name == "dbg+hash")
+        return Preprocessing::DbgHash;
+    return std::nullopt;
+}
+
+/** A JobRecord as the flat JSON block of poll responses. */
+JsonReport
+recordReport(const JobRecord& rec)
+{
+    JsonReport r;
+    r.set("id", static_cast<std::uint64_t>(rec.id))
+        .set("tenant", rec.tenant)
+        .set("dataset", rec.dataset)
+        .set("algo", rec.algo)
+        .set("priority", static_cast<std::uint64_t>(rec.priority))
+        .set("state", std::string(jobStateName(rec.state)))
+        .set("terminal", rec.terminal())
+        .set("attempts", static_cast<std::uint64_t>(rec.attempts))
+        .set("used_fallback", rec.used_fallback)
+        .set("error", rec.error)
+        .set("queue_seconds", rec.queue_seconds)
+        .set("prep_seconds", rec.prep_seconds)
+        .set("sim_seconds", rec.sim_seconds)
+        .set("total_seconds", rec.total_seconds)
+        .set("cycles", static_cast<std::uint64_t>(rec.cycles))
+        .set("iterations", static_cast<std::uint64_t>(rec.iterations))
+        .set("edges_processed",
+             static_cast<std::uint64_t>(rec.edges_processed))
+        .set("dram_bytes_read", rec.dram_bytes_read)
+        .set("dram_bytes_written", rec.dram_bytes_written)
+        .set("moms_hit_rate", rec.moms_hit_rate)
+        .set("gteps", rec.gteps)
+        .set("values_checksum", rec.values_checksum);
+    return r;
+}
+
+void
+respond(const JsonReport& r)
+{
+    std::cout << r.str() << "\n" << std::flush;
+}
+
+void
+respondError(const std::string& op, const std::string& error)
+{
+    JsonReport r;
+    r.set("op", op).set("ok", false).set("error", error);
+    respond(r);
+}
+
+/** Numeric field helper: @p out unchanged when the key is absent. */
+template <typename T>
+bool
+readNumber(const JsonValue& req, const std::string& key, T& out,
+           std::string& error)
+{
+    const JsonValue* v = req.find(key);
+    if (!v)
+        return true;
+    if (!v->isNumber() || v->number < 0) {
+        error = "field \"" + key + "\" must be a non-negative number";
+        return false;
+    }
+    out = static_cast<T>(v->number);
+    return true;
+}
+
+bool
+readString(const JsonValue& req, const std::string& key,
+           std::string& out, std::string& error)
+{
+    const JsonValue* v = req.find(key);
+    if (!v)
+        return true;
+    if (!v->isString()) {
+        error = "field \"" + key + "\" must be a string";
+        return false;
+    }
+    out = v->string;
+    return true;
+}
+
+bool
+readBool(const JsonValue& req, const std::string& key, bool& out,
+         std::string& error)
+{
+    const JsonValue* v = req.find(key);
+    if (!v)
+        return true;
+    if (v->kind != JsonValue::Kind::Bool) {
+        error = "field \"" + key + "\" must be a boolean";
+        return false;
+    }
+    out = v->boolean;
+    return true;
+}
+
+void
+handleSubmit(GraphService& service, const JsonValue& req)
+{
+    JobSpec spec;
+    std::string prep = "dbg+hash";
+    std::string error;
+    bool ok = readString(req, "tenant", spec.tenant, error) &&
+              readString(req, "dataset", spec.dataset, error) &&
+              readString(req, "algo", spec.algo, error) &&
+              readString(req, "preset", spec.preset, error) &&
+              readString(req, "prep", prep, error) &&
+              readNumber(req, "iterations", spec.iterations, error) &&
+              readNumber(req, "source", spec.source, error) &&
+              readNumber(req, "priority", spec.priority, error) &&
+              readNumber(req, "cycle_budget", spec.cycle_budget,
+                         error) &&
+              readNumber(req, "max_retries", spec.max_retries, error) &&
+              readBool(req, "checks", spec.checks, error) &&
+              readBool(req, "telemetry", spec.telemetry, error);
+    if (!ok) {
+        respondError("submit", error);
+        return;
+    }
+    const std::optional<Preprocessing> p = prepByName(prep);
+    if (!p) {
+        respondError("submit", "unknown preprocessing \"" + prep +
+                                   "\" (none, hash, dbg, dbg+hash)");
+        return;
+    }
+    spec.prep = *p;
+
+    const GraphService::Submitted sub = service.submit(std::move(spec));
+    JsonReport r;
+    r.set("op", std::string("submit")).set("ok", sub.ok());
+    if (sub.ok())
+        r.set("id", static_cast<std::uint64_t>(sub.id));
+    else
+        r.set("rejected", JsonReport::Raw{jsonStringArray(sub.rejected)});
+    respond(r);
+}
+
+void
+handlePoll(GraphService& service, const JsonValue& req)
+{
+    const JsonValue* id = req.find("id");
+    if (!id || !id->isNumber() || id->number < 1) {
+        respondError("poll", "poll requires a positive numeric \"id\"");
+        return;
+    }
+    const std::optional<JobRecord> rec =
+        service.poll(static_cast<JobId>(id->number));
+    if (!rec) {
+        respondError("poll", "unknown job id");
+        return;
+    }
+    JsonReport r;
+    r.set("op", std::string("poll"))
+        .set("ok", true)
+        .set("job", JsonReport::Raw{recordReport(*rec).str()});
+    respond(r);
+}
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workers N] [--paused] [--queue-depth N]\n"
+        "          [--quota N] [--cache-mb N] [--no-fallback]\n"
+        "JSON-lines serving front end; see the file header for the\n"
+        "request protocol.\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ServiceConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--workers") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.workers = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--paused") {
+            cfg.start_paused = true;
+        } else if (arg == "--queue-depth") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.max_queue_depth =
+                static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--quota") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.per_tenant_quota =
+                static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--cache-mb") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.cache_budget_bytes =
+                static_cast<std::uint64_t>(std::atoll(v)) << 20;
+        } else if (arg == "--no-fallback") {
+            cfg.enable_fallback = false;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    GraphService service(cfg);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::string parse_error;
+        const std::optional<JsonValue> req =
+            parseJson(line, &parse_error);
+        if (!req || !req->isObject()) {
+            respondError("?", req ? "request must be a JSON object"
+                                  : "bad JSON: " + parse_error);
+            continue;
+        }
+        const JsonValue* op = req->find("op");
+        if (!op || !op->isString()) {
+            respondError("?", "request needs a string \"op\"");
+            continue;
+        }
+
+        if (op->string == "submit") {
+            handleSubmit(service, *req);
+        } else if (op->string == "poll") {
+            handlePoll(service, *req);
+        } else if (op->string == "stats") {
+            JsonReport r;
+            r.set("op", std::string("stats"))
+                .set("ok", true)
+                .set("stats",
+                     JsonReport::Raw{service.stats().report().str()});
+            respond(r);
+        } else if (op->string == "drain") {
+            const std::uint64_t drained = service.drain();
+            JsonReport r;
+            r.set("op", std::string("drain"))
+                .set("ok", true)
+                .set("drained", drained);
+            respond(r);
+        } else if (op->string == "quit") {
+            JsonReport r;
+            r.set("op", std::string("quit")).set("ok", true);
+            respond(r);
+            break;
+        } else {
+            respondError(op->string, "unknown op \"" + op->string +
+                                         "\" (submit, poll, stats, "
+                                         "drain, quit)");
+        }
+    }
+    // ~GraphService drains whatever is still in flight.
+    return 0;
+}
