@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -186,11 +187,42 @@ struct TelemetryCli
 };
 
 /**
+ * Write @p report to @p path atomically: serialize into "<path>.tmp"
+ * in full, then rename over the target. A crash (or two bench
+ * processes racing on the same output) can never leave a truncated,
+ * half-written JSON file behind — consumers see either the old
+ * complete file or the new complete file.
+ */
+inline bool
+writeReportAtomically(const std::string& path, const JsonReport& report)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            return false;
+        report.write(os);
+        os << '\n';
+        if (!os)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
  * Accumulates simulator-speed numbers across every runOn() call of a
  * bench process — split into idle-aware and legacy full-tick buckets —
  * and writes them as BENCH_engine.json (or $GMOMS_BENCH_ENGINE_JSON)
- * at process exit. When both engine modes ran in the same process the
- * report includes their cycles/sec ratio ("speedup").
+ * at process exit, via temp-file-then-rename so the file is never
+ * observed half-written. When both engine modes ran in the same
+ * process the report includes their cycles/sec ratio ("speedup").
+ * Benches may attach extra pre-serialized sections (the tick-thread
+ * sweep and checkpoint-latency records of bench_engine) with
+ * addSection().
  */
 class EngineBenchRecorder
 {
@@ -216,16 +248,34 @@ class EngineBenchRecorder
         b.wall_seconds += wall_seconds;
     }
 
+    /** Attach a pre-serialized JSON value under @p key in the final
+     *  report (bench-specific sections: "tick_threads",
+     *  "checkpoint"). Last write per key wins. */
+    void
+    addSection(const std::string& key, std::string json)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [k, v] : sections_)
+            if (k == key) {
+                v = std::move(json);
+                return;
+            }
+        sections_.emplace_back(key, std::move(json));
+    }
+
     ~EngineBenchRecorder()
     {
-        if (idle_.runs == 0 && full_.runs == 0)
+        if (idle_.runs == 0 && full_.runs == 0 && sections_.empty())
             return;
         const char* env = std::getenv("GMOMS_BENCH_ENGINE_JSON");
         const std::string path = env ? env : "BENCH_engine.json";
-        std::ofstream os(path);
-        if (!os)
-            return;
         JsonReport report;
+        // Wall-clock context for the parallel-tick numbers: speedup on
+        // a 1-core host is not a code defect, and consumers need to
+        // know which they are looking at.
+        report.set("host_cpus",
+                   static_cast<std::uint64_t>(
+                       std::thread::hardware_concurrency()));
         appendBucket(report, "idle", idle_);
         appendBucket(report, "full_tick", full_);
         if (idle_.runs > 0 && full_.runs > 0 &&
@@ -239,8 +289,9 @@ class EngineBenchRecorder
             if (full_rate > 0)
                 report.set("speedup", idle_rate / full_rate);
         }
-        report.write(os);
-        os << '\n';
+        for (const auto& [key, json] : sections_)
+            report.set(key, JsonReport::Raw{json});
+        writeReportAtomically(path, report);
     }
 
   private:
@@ -274,6 +325,7 @@ class EngineBenchRecorder
     std::mutex mu_;  //!< add() is called from sweep workers
     Bucket idle_;
     Bucket full_;
+    std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 /** Run @p cfg on @p g through a Session; weights are added (to a

@@ -6,12 +6,17 @@
  * cache-less MOMS configurations, the slowest points of
  * ablation_die_crossing and fig12_hitrate) under both engine modes,
  * checks bit-exact cycle/result agreement, and reports wall-clock
- * speedup. The EngineBenchRecorder in bench_common.hh writes the
- * aggregate numbers — including the cycles/sec "speedup" field — to
- * BENCH_engine.json at exit.
+ * speedup. Two further sections cover this layer's other speed knobs:
+ * a tick-thread sweep (AccelConfig::tick_threads in {1,2,4,8} on the
+ * Fig. 11 reference design point, asserting bit-exact results at every
+ * count) and checkpoint capture/restore/fork latency. The
+ * EngineBenchRecorder in bench_common.hh writes all aggregate numbers
+ * — including host_cpus, without which the tick-thread speedups cannot
+ * be interpreted — to BENCH_engine.json at exit, atomically.
  */
 
 #include "bench/bench_common.hh"
+#include "src/accel/checkpoint.hh"
 
 using namespace gmoms;
 using namespace gmoms::bench;
@@ -211,5 +216,111 @@ main()
                       "bit-identical"
                     : "CHECKS CHANGED RESULTS — the hardening layer is "
                       "not observation-only");
-    return exact && tele_exact && check_exact ? 0 : 1;
+
+    // Parallel-tick contract (docs/MODEL.md "Deterministic parallel
+    // ticking & checkpoints"): any tick_threads value is bit-identical
+    // to serial; the speedup depends on host cores (host_cpus in the
+    // JSON — on a 1-core CI runner the barrier only costs).
+    std::printf("\n=== Parallel ticking: tick-thread sweep "
+                "(Fig. 11 reference, 18/16 two-level 2k) ===\n");
+    const AccelConfig ref_cfg =
+        AccelConfig::preset(MomsConfig::twoLevel(16, 2048), /*pes=*/18,
+                            /*channels=*/4);
+    const CooGraph& ref_g = *loadDataset("WT");
+
+    Table tick_table(
+        {"threads", "cycles", "wall s", "Mcyc/s", "speedup", "exact"});
+    bool tick_exact = true;
+    RunOutcome serial;
+    double serial_rate = 0;
+    std::string tick_json = "[";
+    const unsigned kThreadCounts[] = {1, 2, 4, 8};
+    for (unsigned t : kThreadCounts) {
+        AccelConfig cfg = ref_cfg;
+        cfg.tick_threads = t;
+        RunOutcome o = runOn(ref_g, "PageRank", cfg);
+        const bool same =
+            t == 1 || (o.result.cycles == serial.result.cycles &&
+                       o.result.raw_values == serial.result.raw_values);
+        if (t == 1)
+            serial = o;
+        if (!same) {
+            std::printf("MISMATCH at tick_threads=%u: results differ "
+                        "from serial\n", t);
+            tick_exact = false;
+        }
+        const double rate =
+            o.wall_seconds > 0
+                ? static_cast<double>(o.result.cycles) / o.wall_seconds
+                : 0.0;
+        if (t == 1)
+            serial_rate = rate;
+        const double speedup = serial_rate > 0 ? rate / serial_rate : 0;
+        tick_table.addRow({std::to_string(t),
+                           std::to_string(o.result.cycles),
+                           fmt(o.wall_seconds, 2), fmt(rate / 1e6, 3),
+                           fmt(speedup, 2) + "x", same ? "yes" : "NO"});
+        JsonReport row;
+        row.set("threads", static_cast<std::uint64_t>(t))
+            .set("cycles", static_cast<std::uint64_t>(o.result.cycles))
+            .set("wall_seconds", o.wall_seconds)
+            .set("cycles_per_sec", rate)
+            .set("speedup_vs_serial", speedup)
+            .set("exact", same);
+        if (tick_json.size() > 1)
+            tick_json += ",";
+        tick_json += row.str();
+    }
+    tick_json += "]";
+    EngineBenchRecorder::instance().addSection("tick_threads",
+                                               tick_json);
+    tick_table.print();
+    std::printf("\n%s.\n",
+                tick_exact
+                    ? "Every thread count reproduced the serial run "
+                      "bit-for-bit"
+                    : "PARALLEL TICKING CHANGED RESULTS — the tick-"
+                      "group contract is broken");
+
+    // Checkpoint latency: what the serving layer pays to save a warm
+    // session once versus forking it per job.
+    std::printf("\n=== Warm-session checkpoint: capture / restore / "
+                "fork ===\n");
+    Session warm = SessionBuilder()
+                       .datasetView(ref_g)
+                       .config(ref_cfg)
+                       .build();
+    WallTimer capture_timer;
+    SessionCheckpoint cp = SessionCheckpoint::capture(warm);
+    const double capture_s = capture_timer.elapsedSeconds();
+
+    WallTimer restore_timer;
+    Session restored = cp.restore();
+    const double restore_s = restore_timer.elapsedSeconds();
+
+    constexpr int kForks = 1000;
+    WallTimer fork_timer;
+    for (int i = 0; i < kForks; ++i)
+        Session forked = cp.restore();
+    const double fork_avg_s =
+        fork_timer.elapsedSeconds() / static_cast<double>(kForks);
+
+    std::printf("capture (incl. partition warm-up): %.3f ms\n"
+                "first restore:                     %.6f ms\n"
+                "fork (avg of %d):                  %.6f ms\n"
+                "resident bytes:                    %zu\n",
+                capture_s * 1e3, restore_s * 1e3, kForks,
+                fork_avg_s * 1e3, cp.residentBytes());
+
+    JsonReport ckpt;
+    ckpt.set("capture_seconds", capture_s)
+        .set("restore_seconds", restore_s)
+        .set("fork_seconds_avg", fork_avg_s)
+        .set("forks_timed", static_cast<std::uint64_t>(kForks))
+        .set("resident_bytes",
+             static_cast<std::uint64_t>(cp.residentBytes()));
+    EngineBenchRecorder::instance().addSection("checkpoint",
+                                               ckpt.str());
+
+    return exact && tele_exact && check_exact && tick_exact ? 0 : 1;
 }

@@ -17,8 +17,17 @@
  * impossibly small cycle budget so the retry -> degraded-fallback
  * path shows up in the numbers.
  *
+ * A final hot-repeat section measures the warm-session checkpoint
+ * pool: the same job mix is pushed through two services — checkpoints
+ * off (every attempt cold-builds and simulates) and on (repeat jobs
+ * fork a pooled warm session and replay memoized results) — asserting
+ * per-job bit-identical values_checksums and reporting the jobs/sec
+ * ratio. In `--smoke` mode the checkpoint hit and fork counters are
+ * additionally asserted nonzero (CI serve-smoke relies on this).
+ *
  * Results land in BENCH_serve.json (override with
- * GMOMS_BENCH_SERVE_JSON), one Raw-nested record per load level.
+ * GMOMS_BENCH_SERVE_JSON), written atomically via
+ * temp-file-then-rename; one Raw-nested record per load level.
  *
  * `--smoke` shrinks the run for CI (fewer levels, fewer jobs).
  */
@@ -74,6 +83,77 @@ randomJob(std::mt19937& rng)
         spec.max_retries = 1;
     }
     return spec;
+}
+
+/** The hot-repeat job mix: @p repeats passes over a small set of
+ *  distinct specs — exactly the repeat-heavy traffic the checkpoint
+ *  pool targets. Deterministic (no RNG): both services see the same
+ *  list. */
+std::vector<JobSpec>
+hotRepeatJobs(unsigned repeats)
+{
+    std::vector<JobSpec> distinct;
+    const char* kAlgos[] = {"PageRank", "SCC", "BFS"};
+    for (const char* algo : kAlgos) {
+        JobSpec spec;
+        spec.tenant = "hot";
+        spec.dataset = "WT";
+        spec.prep = Preprocessing::DbgHash;
+        spec.algo = algo;
+        spec.iterations = 2;
+        spec.config = AccelConfig::preset(MomsConfig::twoLevel(4),
+                                          /*pes=*/4, /*channels=*/2);
+        distinct.push_back(std::move(spec));
+    }
+    std::vector<JobSpec> jobs;
+    for (unsigned r = 0; r < repeats; ++r)
+        for (const JobSpec& spec : distinct)
+            jobs.push_back(spec);
+    return jobs;
+}
+
+struct HotRepeatOutcome
+{
+    double wall_seconds = 0;
+    double jobs_per_sec = 0;
+    std::vector<std::uint64_t> checksums;  //!< submit order
+    ServiceStats stats;
+};
+
+/** Push @p jobs through a fresh service in batch mode and collect the
+ *  per-job checksums in submit order. */
+HotRepeatOutcome
+runHotRepeat(const std::vector<JobSpec>& jobs, bool checkpoints)
+{
+    ServiceConfig cfg;
+    cfg.start_paused = true;  // batch: measure pure serving throughput
+    cfg.max_queue_depth = jobs.size();
+    cfg.per_tenant_quota = 0;
+    cfg.enable_checkpoints = checkpoints;
+    GraphService service(cfg);
+
+    std::vector<JobId> ids;
+    WallTimer timer;
+    for (const JobSpec& spec : jobs) {
+        const GraphService::Submitted sub = service.submit(spec);
+        if (sub.ok())
+            ids.push_back(sub.id);
+    }
+    service.drain();
+
+    HotRepeatOutcome out;
+    out.wall_seconds = timer.elapsedSeconds();
+    out.stats = service.stats();
+    out.jobs_per_sec =
+        out.wall_seconds > 0
+            ? static_cast<double>(out.stats.terminal()) /
+                  out.wall_seconds
+            : 0.0;
+    for (JobId id : ids) {
+        const std::optional<JobRecord> rec = service.poll(id);
+        out.checksums.push_back(rec ? rec->values_checksum : 0);
+    }
+    return out;
 }
 
 } // namespace
@@ -192,6 +272,68 @@ main(int argc, char** argv)
                 "instead of queueing unboundedly, and every\n"
                 "tiny-budget job comes back Degraded — never lost.\n");
 
+    // --- Hot-repeat: checkpoint pool off vs on ----------------------
+    std::printf("\n=== Hot-repeat serving: checkpoint pool off vs on "
+                "===\n\n");
+    const std::vector<JobSpec> hot_jobs =
+        hotRepeatJobs(smoke ? 8 : 20);
+    const HotRepeatOutcome cold = runHotRepeat(hot_jobs, false);
+    const HotRepeatOutcome warmed = runHotRepeat(hot_jobs, true);
+
+    bool hot_failed = false;
+    if (cold.checksums != warmed.checksums ||
+        cold.checksums.size() != hot_jobs.size()) {
+        std::printf("CHECKSUM MISMATCH: checkpoint-forked jobs did not "
+                    "reproduce cold-built results bit-for-bit\n");
+        hot_failed = true;
+    }
+    // The repeat-heavy mix must actually exercise the pool: every job
+    // forks, and every job after the first per key is a hit.
+    if (warmed.stats.checkpoints.hits == 0 ||
+        warmed.stats.checkpoints.forks == 0) {
+        std::printf("CHECKPOINT POOL UNUSED: hits=%llu forks=%llu on a "
+                    "repeat-heavy mix\n",
+                    static_cast<unsigned long long>(
+                        warmed.stats.checkpoints.hits),
+                    static_cast<unsigned long long>(
+                        warmed.stats.checkpoints.forks));
+        hot_failed = true;
+    }
+    const double hot_speedup = cold.jobs_per_sec > 0
+                                   ? warmed.jobs_per_sec /
+                                         cold.jobs_per_sec
+                                   : 0.0;
+    Table hot_table({"pool", "jobs", "wall s", "jobs/s", "memo hits"});
+    hot_table.addRow({"off", std::to_string(hot_jobs.size()),
+                      fmt(cold.wall_seconds, 3),
+                      fmt(cold.jobs_per_sec, 1), "-"});
+    hot_table.addRow(
+        {"on", std::to_string(hot_jobs.size()),
+         fmt(warmed.wall_seconds, 3), fmt(warmed.jobs_per_sec, 1),
+         std::to_string(warmed.stats.checkpoints.memo_hits)});
+    hot_table.print();
+    std::printf("\nspeedup: %.1fx (%s); identical checksums: %s\n",
+                hot_speedup,
+                hot_speedup >= 5.0 ? ">= 5x target"
+                                   : "below the 5x target",
+                hot_failed ? "NO" : "yes");
+
+    JsonReport hot;
+    hot.set("jobs", static_cast<std::uint64_t>(hot_jobs.size()))
+        .set("cold_wall_seconds", cold.wall_seconds)
+        .set("cold_jobs_per_sec", cold.jobs_per_sec)
+        .set("warm_wall_seconds", warmed.wall_seconds)
+        .set("warm_jobs_per_sec", warmed.jobs_per_sec)
+        .set("speedup", hot_speedup)
+        .set("checksums_match", !hot_failed)
+        .set("checkpoint_hits", warmed.stats.checkpoints.hits)
+        .set("checkpoint_misses", warmed.stats.checkpoints.misses)
+        .set("checkpoint_forks", warmed.stats.checkpoints.forks)
+        .set("memo_hits", warmed.stats.checkpoints.memo_hits)
+        .set("memo_misses", warmed.stats.checkpoints.memo_misses)
+        .set("checkpoint_resident_bytes",
+             warmed.stats.checkpoints.resident_bytes);
+
     // --- BENCH_serve.json -------------------------------------------
     std::string levels_json = "[";
     for (std::size_t i = 0; i < level_reports.size(); ++i) {
@@ -205,17 +347,21 @@ main(int argc, char** argv)
     top.set("bench", std::string("serve"))
         .set("smoke", smoke)
         .set("lost_jobs", lost)
-        .set("levels", JsonReport::Raw{levels_json});
+        .set("levels", JsonReport::Raw{levels_json})
+        .set("hot_repeat", JsonReport::Raw{hot.str()});
 
     const char* env = std::getenv("GMOMS_BENCH_SERVE_JSON");
     const std::string path = env ? env : "BENCH_serve.json";
-    std::ofstream out(path);
-    top.write(out);
-    out << "\n";
-    std::printf("\nper-level records written to %s\n", path.c_str());
+    if (writeReportAtomically(path, top))
+        std::printf("\nper-level records written to %s\n",
+                    path.c_str());
+    else
+        std::printf("\ncould not write %s\n", path.c_str());
 
     if (lost)
         std::printf("\nJOBS WERE LOST — the serving layer broke its "
                     "terminal-accounting contract\n");
-    return lost ? 1 : 0;
+    if (hot_failed)
+        std::printf("\nHOT-REPEAT CONTRACT BROKEN — see above\n");
+    return lost || hot_failed ? 1 : 0;
 }

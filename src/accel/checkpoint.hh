@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Warm-session checkpoint/restore and deterministic replay descriptors.
+ *
+ * A SessionCheckpoint is a versioned snapshot of everything a warmed
+ * Session carries *between* runs: the preprocessed graph views, their
+ * partitions, the id-translation tables, the synthetic-weight seed and
+ * the bound configuration. Because the simulator is deterministic, that
+ * is the complete state — all microarchitectural state (MOMS/MSHR
+ * contents, wake calendar, in-flight queues) is reconstructed exactly
+ * by re-running, which is also what makes the attached result memo
+ * sound: two runs of the same (dataset, prep, config, algo, args) are
+ * bit-identical, so the first run's SessionResult can be replayed from
+ * memory. restore()/fork() is copy-on-restore: the forked Session
+ * shares every immutable view by shared_ptr and owns only its lazily
+ * materialized remainder, so a fork costs O(1) regardless of graph
+ * size.
+ *
+ * ReplayDescriptor is the restore side of watchdog/diagnostic dumps: a
+ * one-line, versioned recipe (dataset tag, preprocessing, config
+ * preset or fingerprint, algorithm + arguments, failure cycle) that a
+ * developer — or tooling — can feed back through SessionBuilder to
+ * deterministically re-execute a failed run up to the recorded cycle
+ * ("time-travel debugging" without serializing the machine).
+ */
+
+#ifndef GMOMS_ACCEL_CHECKPOINT_HH
+#define GMOMS_ACCEL_CHECKPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/accel/session.hh"
+
+namespace gmoms
+{
+
+/**
+ * Order-independent digest of every AccelConfig field that can change
+ * simulation results or run records. Deliberately EXCLUDES
+ * tick_threads (results are bit-identical at any thread count) and
+ * output-only knobs (dump paths, labels), so sessions differing only
+ * in those share checkpoints. Unit-tested field-by-field in
+ * tests/test_checkpoint.cc: any new result-relevant field must be
+ * added here or that test's sensitivity sweep will miss it.
+ */
+std::uint64_t configFingerprint(const AccelConfig& cfg);
+
+/**
+ * Memoized results of one checkpointed (dataset, prep, config)
+ * binding, shared by every Session forked from the same checkpoint.
+ * Keys are algorithm descriptors ("PR:10", "SSSP:s4:i1000:w97", ...);
+ * only successfully completed runs are stored (a CheckError aborts
+ * before the store). Thread-safe: forks run concurrently in
+ * GraphService workers.
+ */
+class SessionMemo
+{
+  public:
+    std::optional<SessionResult> lookup(const std::string& key) const;
+    void store(const std::string& key, const SessionResult& result);
+
+    /** Approximate resident bytes of stored results. */
+    std::size_t bytes() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, SessionResult> results_;
+    std::size_t bytes_ = 0;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+class SessionCheckpoint
+{
+  public:
+    /** Snapshot layout version; bumped on any semantic change to what
+     *  a checkpoint carries. restore() refuses other versions. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /**
+     * Capture @p session. Warms the plain view (and, with
+     * @p warm_weighted, the weighted one) so every fork starts fully
+     * preprocessed, and attaches a shared result memo to @p session
+     * so its later runs populate the cache too.
+     */
+    static SessionCheckpoint capture(Session& session,
+                                     bool warm_weighted = false);
+
+    /** Copy-on-restore fork: a Session sharing all immutable state. */
+    Session restore() const;
+
+    /** Approximate resident bytes (graph views + partitions + memo). */
+    std::size_t residentBytes() const;
+
+    /** Fingerprint of the captured config (pool key ingredient). */
+    std::uint64_t fingerprint() const;
+
+    const std::shared_ptr<SessionMemo>& memo() const;
+
+  private:
+    SessionCheckpoint() = default;
+
+    struct State;
+    std::shared_ptr<const State> state_;
+};
+
+/**
+ * One-line, versioned recipe for deterministically re-executing a run
+ * (recorded in JobRecords and appended to diagnostic dumps via
+ * CheckConfig::replay_context). Only preset-named configurations are
+ * reconstructable from the line alone; explicit configs are identified
+ * by fingerprint for matching against a live config in code.
+ */
+struct ReplayDescriptor
+{
+    static constexpr std::uint32_t kVersion = 1;
+
+    std::string dataset;      //!< dataset tag (e.g. "WT")
+    std::string prep;         //!< Preprocessing name (e.g. "DbgHash")
+    std::string algo;         //!< "PageRank" / "SCC" / "SSSP" / "BFS"
+    std::uint32_t iterations = 0;
+    NodeId source = 0;        //!< ORIGINAL id (SSSP/BFS)
+    std::string preset;       //!< preset name; empty = explicit config
+    std::uint64_t config_fingerprint = 0;
+    Cycle fail_cycle = 0;     //!< 0 = unset (filled by dump site)
+
+    /** "gmoms-replay v1 dataset=… prep=… algo=… …" */
+    std::string serialize() const;
+    /** Inverse of serialize(); nullopt on malformed/wrong version. */
+    static std::optional<ReplayDescriptor> parse(const std::string& s);
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_ACCEL_CHECKPOINT_HH

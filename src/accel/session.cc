@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "src/accel/checkpoint.hh"
 #include "src/graph/generator.hh"
 #include "src/sim/log.hh"
 #include "src/sim/report.hh"
@@ -28,26 +29,31 @@ Session::Session(std::shared_ptr<const CooGraph> graph,
     // identity permutation is kept implicit (empty vectors): sweeps
     // construct a Session per run, and two O(N) id tables per run is
     // real cost on multi-million-node datasets.
+    std::vector<NodeId> perm;
     switch (preprocessing) {
       case Preprocessing::None:
         break;
       case Preprocessing::Hash:
-        to_internal_ = hashCacheLines(src_->numNodes(), nd);
+        perm = hashCacheLines(src_->numNodes(), nd);
         break;
       case Preprocessing::Dbg:
-        to_internal_ = dbgReorder(*src_);
+        perm = dbgReorder(*src_);
         break;
       case Preprocessing::DbgHash: {
         auto dbg = dbgReorder(*src_);
-        to_internal_ = composePermutations(
+        perm = composePermutations(
             dbg, hashCacheLines(src_->numNodes(), nd));
         break;
       }
     }
-    if (!to_internal_.empty()) {
-        to_original_.resize(src_->numNodes());
+    if (!perm.empty()) {
+        std::vector<NodeId> inv(src_->numNodes());
         for (NodeId i = 0; i < src_->numNodes(); ++i)
-            to_original_[to_internal_[i]] = i;
+            inv[perm[i]] = i;
+        to_internal_ = std::make_shared<const std::vector<NodeId>>(
+            std::move(perm));
+        to_original_ = std::make_shared<const std::vector<NodeId>>(
+            std::move(inv));
     }
 }
 
@@ -56,17 +62,16 @@ Session::ensurePlain() const
 {
     if (plain_)
         return;
-    if (to_internal_.empty() && !src_->weighted()) {
+    if (!to_internal_ && !src_->weighted()) {
         plain_ = src_;  // already the plain view: share, don't copy
     } else {
-        CooGraph g = to_internal_.empty()
-                         ? *src_
-                         : src_->relabeled(to_internal_);
+        CooGraph g = !to_internal_ ? *src_
+                                   : src_->relabeled(*to_internal_);
         g.setWeighted(false);
         plain_ = std::make_shared<const CooGraph>(std::move(g));
     }
-    pg_plain_ = std::make_unique<PartitionedGraph>(*plain_, config_.nd,
-                                                   config_.ns);
+    pg_plain_ = std::make_shared<const PartitionedGraph>(
+        *plain_, config_.nd, config_.ns);
 }
 
 void
@@ -77,17 +82,17 @@ Session::ensureWeighted() const
     if (src_->weighted()) {
         // The dataset brought its own weights: honor them (relabeled()
         // carries weights through the permutation).
-        weighted_ = to_internal_.empty()
+        weighted_ = !to_internal_
                         ? src_
                         : std::make_shared<const CooGraph>(
-                              src_->relabeled(to_internal_));
+                              src_->relabeled(*to_internal_));
     } else {
         ensurePlain();
         CooGraph g = *plain_;
         addRandomWeights(g, weight_seed_);
         weighted_ = std::make_shared<const CooGraph>(std::move(g));
     }
-    pg_weighted_ = std::make_unique<PartitionedGraph>(
+    pg_weighted_ = std::make_shared<const PartitionedGraph>(
         *weighted_, config_.nd, config_.ns);
 }
 
@@ -110,7 +115,7 @@ Session::internalId(NodeId original) const
 {
     if (original >= src_->numNodes())
         fatal("internalId: node out of range");
-    return to_internal_.empty() ? original : to_internal_[original];
+    return !to_internal_ ? original : (*to_internal_)[original];
 }
 
 NodeId
@@ -118,13 +123,23 @@ Session::originalId(NodeId internal) const
 {
     if (internal >= src_->numNodes())
         fatal("originalId: node out of range");
-    return to_original_.empty() ? internal : to_original_[internal];
+    return !to_original_ ? internal : (*to_original_)[internal];
 }
 
 SessionResult
 Session::runSpec(const AlgoSpec& spec, const CooGraph& g,
-                 const PartitionedGraph& pg)
+                 const PartitionedGraph& pg,
+                 const std::string& memo_key)
 {
+    // Checkpoint-backed sessions replay memoized results: the
+    // simulator is deterministic, so an identical (dataset, prep,
+    // config, algo, args) run is bit-identical — values, counters and
+    // checksums included. Failed runs never reach the store (a
+    // CheckError propagates out of accel.run()).
+    if (memo_) {
+        if (auto hit = memo_->lookup(memo_key))
+            return *hit;
+    }
     Accelerator accel(config_, pg, spec);
     SessionResult out;
     WallTimer timer;
@@ -138,6 +153,8 @@ Session::runSpec(const AlgoSpec& spec, const CooGraph& g,
     out.values.resize(g.numNodes());
     for (NodeId i = 0; i < g.numNodes(); ++i)
         out.values[i] = spec.finalValue(out.run.raw_values[i], i);
+    if (memo_)
+        memo_->store(memo_key, out);
     return out;
 }
 
@@ -146,7 +163,7 @@ Session::pageRank(std::uint32_t iterations)
 {
     ensurePlain();
     return runSpec(AlgoSpec::pageRank(*plain_, iterations), *plain_,
-                   *pg_plain_);
+                   *pg_plain_, "PR:i" + std::to_string(iterations));
 }
 
 SessionResult
@@ -155,7 +172,7 @@ Session::scc(std::uint32_t max_iterations)
     ensurePlain();
     return runSpec(
         AlgoSpec::scc(plain_->numNodes(), max_iterations), *plain_,
-        *pg_plain_);
+        *pg_plain_, "SCC:i" + std::to_string(max_iterations));
 }
 
 SessionResult
@@ -164,7 +181,10 @@ Session::sssp(NodeId source, std::uint32_t max_iterations)
     ensureWeighted();
     return runSpec(
         AlgoSpec::sssp(internalId(source), max_iterations), *weighted_,
-        *pg_weighted_);
+        *pg_weighted_,
+        "SSSP:s" + std::to_string(source) + ":i" +
+            std::to_string(max_iterations) + ":w" +
+            std::to_string(weight_seed_));
 }
 
 SessionResult
@@ -172,7 +192,9 @@ Session::bfs(NodeId source, std::uint32_t max_iterations)
 {
     ensurePlain();
     return runSpec(AlgoSpec::bfs(internalId(source), max_iterations),
-                   *plain_, *pg_plain_);
+                   *plain_, *pg_plain_,
+                   "BFS:s" + std::to_string(source) + ":i" +
+                       std::to_string(max_iterations));
 }
 
 SessionBuilder&

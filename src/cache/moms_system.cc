@@ -315,6 +315,12 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
             }
             ++mem_ports_used_;
             engine.add(shared_banks_.back().get());
+            // Banks qualify for parallel ticking: a bank owns its MSHR
+            // and cache state outright and every queue it touches has
+            // its other endpoint outside the bank group (crossbar,
+            // PE, or a DRAM channel port).
+            engine.setTickGroup(shared_banks_.back().get(),
+                                tick_group::kCacheBank);
             // The crossbar (this component) feeds the bank's request
             // queue and drains its response queue.
             shared_banks_.back()->cpuReqIn().setProducer(this);
@@ -368,6 +374,14 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
             }
             private_banks_.back()->connectDownstream(down);
             engine.add(private_banks_.back().get());
+            // Same hazard argument as the shared banks: the private
+            // bank's queue endpoints are its own PE and (via its
+            // adapter) crossbar or DRAM port queues, never another
+            // bank. Note dynaburst interleaves assemblers (serial)
+            // between banks in registration order, which fragments the
+            // due-list runs — parallel spans then simply do not form.
+            engine.setTickGroup(private_banks_.back().get(),
+                                tick_group::kCacheBank);
         }
     }
 
@@ -450,14 +464,19 @@ MomsSystem::tick()
     // client whose head request targets an already-claimed bank loses
     // the conflict this cycle (that is the bank-conflict bottleneck of
     // Section II).
-    bank_claimed_.assign(banks, false);
+    // Claim markers are epoch stamps (claimed == stamp equals this
+    // tick's epoch), so an arbitration pass costs no O(banks) clear on
+    // the many cycles where nothing moves.
+    bank_claimed_.resize(banks, 0);
+    client_claimed_.resize(clients, 0);
+    const std::uint64_t epoch = ++claim_epoch_;
     for (std::uint32_t i = 0; i < clients; ++i) {
         const std::uint32_t c = (xbar_req_rr_ + i) % clients;
         if (!xbar_req_[c]->canPop())
             continue;
         const std::uint32_t b =
             bankOf(lineOf(xbar_req_[c]->front().addr));
-        if (bank_claimed_[b]) {
+        if (bank_claimed_[b] == epoch) {
             ++xbar_stats_.req_conflicts;
             continue;
         }
@@ -469,24 +488,23 @@ MomsSystem::tick()
         if (faults_ && faults_->drop_next_request) {
             faults_->drop_next_request = false;
             xbar_req_[c]->pop();  // token vanishes: never reaches a bank
-            bank_claimed_[b] = true;
+            bank_claimed_[b] = epoch;
             continue;
         }
         bank.cpuReqIn().push(xbar_req_[c]->pop());
-        bank_claimed_[b] = true;
+        bank_claimed_[b] = epoch;
     }
     ++xbar_req_rr_;
 
     // Response crossbar: each client receives at most one response per
     // cycle; single O(banks) pass in rotating priority order.
-    client_claimed_.assign(clients, false);
     for (std::uint32_t i = 0; i < banks; ++i) {
         const std::uint32_t b = (xbar_resp_rr_ + i) % banks;
         MomsBank& bank = *shared_banks_[b];
         if (!bank.cpuRespOut().canPop())
             continue;
         const std::uint32_t c = bank.cpuRespOut().front().client;
-        if (client_claimed_[c]) {
+        if (client_claimed_[c] == epoch) {
             ++xbar_stats_.resp_conflicts;
             continue;
         }
@@ -500,7 +518,7 @@ MomsSystem::tick()
             continue;
         }
         xbar_resp_[c]->push(bank.cpuRespOut().pop());
-        client_claimed_[c] = true;
+        client_claimed_[c] = epoch;
     }
     ++xbar_resp_rr_;
 }

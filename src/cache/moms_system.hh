@@ -245,8 +245,11 @@ class MomsSystem : public Component
      *  missed increments are applied in bulk (tick()/catchUp()). */
     Cycle rr_accounted_until_ = 0;
     // Per-cycle arbitration scratch (members to avoid reallocation).
-    std::vector<bool> bank_claimed_;
-    std::vector<bool> client_claimed_;
+    // "Claimed this cycle" == entry equals the current claim epoch, so
+    // no per-tick O(banks)+O(clients) clear is needed.
+    std::vector<std::uint64_t> bank_claimed_;
+    std::vector<std::uint64_t> client_claimed_;
+    std::uint64_t claim_epoch_ = 0;
 
     XbarStats xbar_stats_;
     FaultHooks* faults_ = nullptr;

@@ -58,6 +58,13 @@ struct CheckConfig
     /** When non-empty, every diagnostic dump is also written to this
      *  file (CI uploads it as an artifact on failure). */
     std::string dump_path;
+
+    /** When non-empty, prepended to every diagnostic dump: a replay
+     *  recipe for the failing run (see ReplayDescriptor in
+     *  src/accel/checkpoint.hh) so a watchdog dump is *restorable* —
+     *  deterministic re-execution reaches the same cycle with the same
+     *  state. GraphService fills this per job. */
+    std::string replay_context;
 };
 
 /**

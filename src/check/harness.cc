@@ -247,6 +247,9 @@ CheckHarness::diagnosticDump(const std::string& reason) const
     out << "=== hardening-layer diagnostic dump ===\n"
         << "reason: " << reason << "\n"
         << "cycle: " << engine_.now() << "\n";
+    if (!cfg_.replay_context.empty())
+        out << "replay: " << cfg_.replay_context << " fail_cycle="
+            << engine_.now() << "\n";
 
     if (w_.sched)
         out << "scheduler: jobs pulled " << w_.sched->jobsPulled()

@@ -18,6 +18,10 @@ MemorySystem::MemorySystem(Engine& engine, const DramConfig& cfg,
         channels_.push_back(std::make_unique<DramChannel>(
             engine, "dram.ch" + std::to_string(c), cfg, num_ports));
         engine.add(channels_.back().get());
+        // Channels qualify for parallel ticking: each one touches only
+        // its own bank/bus state and the port queues it is the sole
+        // registered endpoint of (clients live in other tick groups).
+        engine.setTickGroup(channels_.back().get(), tick_group::kDram);
     }
 }
 

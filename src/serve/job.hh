@@ -110,6 +110,11 @@ struct JobRecord
     std::uint32_t attempts = 0;      //!< runs started (incl. fallback)
     bool used_fallback = false;
     std::string error;               //!< last failure reason, if any
+    /** ReplayDescriptor of the last attempt (the fallback config's
+     *  once the job degrades): paste into a fresh process to re-run
+     *  the exact simulation — deterministic, so a failing run's dump
+     *  is restorable (see src/accel/checkpoint.hh). */
+    std::string replay;
 
     // Latency breakdown (wall seconds).
     double queue_seconds = 0;  //!< admission -> dispatch

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/accel/checkpoint.hh"
 #include "src/accel/session.hh"
 #include "src/check/check_config.hh"
 #include "src/sim/log.hh"
@@ -22,6 +23,33 @@ resolveFallback(const ServiceConfig& cfg)
         fb.max_cycles = cfg.fallback_budget;
     fb.checks.enabled = true;
     return fb;
+}
+
+/** The iteration cap the run will actually use (spec 0 = algorithm
+ *  default), recorded in replay descriptors. */
+std::uint32_t
+effectiveIterations(const JobSpec& spec)
+{
+    if (spec.iterations)
+        return spec.iterations;
+    return spec.algo == "PageRank" ? 10 : 1000;
+}
+
+/** The attempt's replay recipe: enough to re-run the exact failing
+ *  simulation from a fresh process (docs/EXPERIMENTS.md). */
+std::string
+replayFor(const JobSpec& spec, const AccelConfig& cfg,
+          const std::string& preset)
+{
+    ReplayDescriptor rd;
+    rd.dataset = spec.dataset;
+    rd.prep = preprocessingName(spec.prep);
+    rd.algo = spec.algo;
+    rd.iterations = effectiveIterations(spec);
+    rd.source = spec.source;
+    rd.preset = preset;
+    rd.config_fingerprint = configFingerprint(cfg);
+    return rd.serialize();
 }
 
 } // namespace
@@ -48,12 +76,25 @@ ServiceStats::report() const
         .set("cache_misses", cache.misses)
         .set("cache_evictions", cache.evictions)
         .set("cache_bytes", cache.bytes);
+    r.set("checkpoint_hits", checkpoints.hits)
+        .set("checkpoint_misses", checkpoints.misses)
+        .set("checkpoint_forks", checkpoints.forks)
+        .set("checkpoint_evictions", checkpoints.evictions)
+        .set("checkpoint_entries", checkpoints.entries)
+        .set("checkpoint_resident_bytes", checkpoints.resident_bytes)
+        .set("memo_hits", checkpoints.memo_hits)
+        .set("memo_misses", checkpoints.memo_misses);
     return r;
 }
 
 GraphService::GraphService(ServiceConfig cfg)
     : cfg_(cfg), fallback_config_(resolveFallback(cfg)),
-      cache_(cfg.cache_budget_bytes), pool_(cfg.workers),
+      cache_(cfg.cache_budget_bytes),
+      ckpt_pool_(cfg.enable_checkpoints
+                     ? std::make_unique<CheckpointPool>(
+                           cfg.checkpoint_budget_bytes)
+                     : nullptr),
+      pool_(cfg.workers),
       queue_(cfg.max_queue_depth, cfg.per_tenant_quota),
       paused_(cfg.start_paused)
 {
@@ -153,6 +194,8 @@ GraphService::stats() const
     ServiceStats s = stats_;
     s.wall_seconds = lifetime_.elapsedSeconds();
     s.cache = cache_.stats();
+    if (ckpt_pool_)
+        s.checkpoints = ckpt_pool_->stats();
     return s;
 }
 
@@ -202,15 +245,26 @@ GraphService::publishReadyLocked()
 
 void
 GraphService::runAttempt(const JobSpec& spec, const AccelConfig& cfg,
-                         const DatasetPtr& dataset, JobRecord& rec)
+                         const DatasetPtr& dataset, JobRecord& rec,
+                         const std::string& replay)
 {
     ++rec.attempts;
     WallTimer timer;
     // The dataset arrives preprocessed from the cache, so the session
     // adds no preprocessing; sharing the pointer keeps the graph alive
-    // across a concurrent cache eviction.
+    // across a concurrent cache eviction. With the checkpoint pool on,
+    // the session is forked from a pooled warm checkpoint instead of
+    // cold-built: repeat jobs share the partition, and *identical*
+    // jobs replay the memoized result without simulating. The replay
+    // context is set per fork (result-neutral; the pooled checkpoint
+    // stores a neutral config).
     Session session =
-        SessionBuilder().dataset(dataset).config(cfg).build();
+        ckpt_pool_ ? ckpt_pool_->acquire(spec.dataset,
+                                         preprocessingName(spec.prep),
+                                         dataset, cfg,
+                                         spec.algo == "SSSP")
+                   : SessionBuilder().dataset(dataset).config(cfg).build();
+    session.setReplayContext(replay);
 
     SessionResult res;
     if (spec.algo == "PageRank")
@@ -262,6 +316,8 @@ GraphService::drainerLoop()
         std::uint64_t fallback_runs = 0;
         WallTimer prep_timer;
         DatasetPtr dataset;
+        rec.replay = replayFor(spec, requested,
+                               spec.config ? "" : spec.preset);
         try {
             dataset = cache_.get(spec.dataset, spec.prep);
             rec.prep_seconds = prep_timer.elapsedSeconds();
@@ -274,7 +330,8 @@ GraphService::drainerLoop()
                 if (attempt > 0)
                     ++retries;
                 try {
-                    runAttempt(spec, requested, dataset, rec);
+                    runAttempt(spec, requested, dataset, rec,
+                               rec.replay);
                     rec.state = JobState::Completed;
                     rec.error.clear();
                     done = true;
@@ -289,8 +346,13 @@ GraphService::drainerLoop()
             }
             if (!done && cfg_.enable_fallback) {
                 ++fallback_runs;
+                // The degraded attempt runs a different config, so its
+                // record (and any dump) carries its own descriptor.
+                rec.replay = replayFor(spec, fallback_config_,
+                                       cfg_.fallback_preset);
                 try {
-                    runAttempt(spec, fallback_config_, dataset, rec);
+                    runAttempt(spec, fallback_config_, dataset, rec,
+                               rec.replay);
                     rec.state = JobState::Degraded;
                     rec.used_fallback = true;
                     done = true;

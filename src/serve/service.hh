@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "src/obs/latency.hh"
+#include "src/serve/checkpoint_pool.hh"
 #include "src/serve/dataset_cache.hh"
 #include "src/serve/job.hh"
 #include "src/serve/scheduler.hh"
@@ -72,6 +73,16 @@ struct ServiceConfig
 
     /** Dataset-cache byte budget; 0 = unbounded. */
     std::uint64_t cache_budget_bytes = 2048ull << 20;
+
+    /** Serve repeat (dataset, prep, config) jobs from a pool of warm
+     *  session checkpoints: the first job on a key pays the partition
+     *  cost, later jobs fork the checkpoint, and *identical* jobs
+     *  (same algo + args) replay the memoized, bit-identical result
+     *  without re-simulating. Off = every attempt cold-builds (the
+     *  pre-checkpoint behavior). */
+    bool enable_checkpoints = true;
+    /** Checkpoint-pool resident-byte budget; 0 = unbounded. */
+    std::uint64_t checkpoint_budget_bytes = 1024ull << 20;
 
     /** Degrade-instead-of-fail: after all retries, run once on
      *  @ref fallback with @ref fallback_budget. */
@@ -101,6 +112,7 @@ struct ServiceStats
 
     double wall_seconds = 0;  //!< service lifetime at stats() time
     DatasetCache::Stats cache;
+    CheckpointPool::Stats checkpoints;  //!< zeros when pool disabled
 
     std::uint64_t terminal() const
     {
@@ -172,6 +184,11 @@ class GraphService
     ServiceStats stats() const;
 
     DatasetCache& datasetCache() { return cache_; }
+    /** Null when ServiceConfig::enable_checkpoints is false. */
+    const CheckpointPool* checkpointPool() const
+    {
+        return ckpt_pool_.get();
+    }
     unsigned workers() const { return pool_.workers(); }
 
   private:
@@ -190,13 +207,17 @@ class GraphService
     void spawnDrainersLocked();
     /** Publish in dispatch order whatever finished. Caller holds mu_. */
     void publishReadyLocked();
-    /** One simulation attempt; fills @p rec result fields on success. */
+    /** One simulation attempt; fills @p rec result fields on success.
+     *  @p replay is the attempt's ReplayDescriptor serialization,
+     *  prepended to any diagnostic dump the run produces. */
     void runAttempt(const JobSpec& spec, const AccelConfig& cfg,
-                    const DatasetPtr& dataset, JobRecord& rec);
+                    const DatasetPtr& dataset, JobRecord& rec,
+                    const std::string& replay);
 
     const ServiceConfig cfg_;
     const AccelConfig fallback_config_;
     DatasetCache cache_;
+    std::unique_ptr<CheckpointPool> ckpt_pool_;  //!< null = disabled
     ThreadPool pool_;
     WallTimer lifetime_;
 

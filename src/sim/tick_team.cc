@@ -1,0 +1,141 @@
+#include "src/sim/tick_team.hh"
+
+#include "src/sim/engine.hh"
+
+namespace gmoms
+{
+
+namespace detail
+{
+thread_local TickWakeCapture* tls_tick_capture = nullptr;
+} // namespace detail
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+TickTeam::TickTeam(Engine& engine, unsigned threads)
+    : eng_(engine), threads_(threads < 1 ? 1 : threads)
+{
+    bufs_.resize(threads_);
+    errs_.resize(threads_);
+    workers_.reserve(threads_ - 1);
+    for (unsigned t = 1; t < threads_; ++t)
+        workers_.emplace_back([this, t] { workerLoop(t); });
+}
+
+TickTeam::~TickTeam()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_.store(true, std::memory_order_relaxed);
+        seq_.fetch_add(1, std::memory_order_release);
+        cv_.notify_all();
+    }
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+TickTeam::runSpan(const std::size_t* idx, std::size_t n, bool query_na)
+{
+    idx_ = idx;
+    count_ = n;
+    query_na_ = query_na;
+    if (query_na && na_.size() < n)
+        na_.resize(n);
+    done_.store(0, std::memory_order_relaxed);
+    {
+        // The ticket is bumped under the mutex so a worker can never
+        // park between observing the old ticket and waiting: either it
+        // sees the new ticket in its spin loop, or it re-checks under
+        // the same mutex before parking and the notify reaches it.
+        std::lock_guard<std::mutex> lock(mu_);
+        seq_.fetch_add(1, std::memory_order_release);
+        cv_.notify_all();
+    }
+    runChunk(0);
+    unsigned spins = 0;
+    while (done_.load(std::memory_order_acquire) != threads_ - 1) {
+        if (++spins < kDoneSpins)
+            cpuRelax();
+        else
+            std::this_thread::yield();
+    }
+    for (unsigned t = 0; t < threads_; ++t) {
+        if (errs_[t]) {
+            const std::exception_ptr e = errs_[t];
+            for (std::exception_ptr& ep : errs_)
+                ep = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+TickTeam::workerLoop(unsigned t)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        unsigned spins = 0;
+        while (seq_.load(std::memory_order_acquire) == seen) {
+            if (++spins < kIdleSpins) {
+                cpuRelax();
+                if ((spins & 63u) == 0)
+                    std::this_thread::yield();  // single-CPU progress
+            } else {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock, [&] {
+                    return seq_.load(std::memory_order_acquire) != seen;
+                });
+            }
+        }
+        seen = seq_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        runChunk(t);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+TickTeam::runChunk(unsigned t)
+{
+    std::vector<BufferedWake>& out = bufs_[t].entries;
+    out.clear();
+    const std::size_t lo = count_ * t / threads_;
+    const std::size_t hi = count_ * (t + 1) / threads_;
+    if (lo >= hi)
+        return;
+    detail::TickWakeCapture cap{&eng_, 0, &out};
+    detail::tls_tick_capture = &cap;
+    try {
+        Component* const* comps = eng_.components_.data();
+        const std::uint8_t* defer = eng_.defer_.data();
+        for (std::size_t k = lo; k < hi; ++k) {
+            const std::size_t i = idx_[k];
+            cap.issuer = i;
+            comps[i]->tick();
+            if (query_na_ && defer[i] == 0)
+                na_[k] = comps[i]->nextActivity();
+        }
+    } catch (...) {
+        errs_[t] = std::current_exception();
+    }
+    detail::tls_tick_capture = nullptr;
+}
+
+} // namespace gmoms

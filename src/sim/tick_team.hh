@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Barrier-synchronized worker team for phase-parallel ticking.
+ *
+ * A TickTeam executes one contiguous span of an engine's due list — all
+ * members of a single hazard-free tick group — across a fixed set of
+ * threads. Determinism does not come from ordering the execution (chunks
+ * run concurrently) but from confining every cross-component effect:
+ *
+ *  - A component in a parallel group may only mutate its own state and
+ *    the queues it is the registered endpoint of; no two same-group
+ *    components share a queue endpoint (the hazard contract, enforced
+ *    socially by the group assignments in src/mem and src/cache and
+ *    loudly by Engine::applyWake's in-span insertion check).
+ *  - Engine::requestWake calls made while a chunk runs are not applied;
+ *    they are recorded into a per-thread buffer together with the
+ *    *issuer's* component index. After the barrier the coordinating
+ *    thread replays them through Engine::applyWake. Every wake effect is
+ *    a commutative fold (min on the calendar, a stamp-guarded sorted
+ *    insert into the due list, a counter increment), and the same-cycle
+ *    "ticks later this cycle" decision depends only on the issuer index
+ *    carried in the buffer — so replay order does not matter and results
+ *    are bit-identical to serial execution at any thread count.
+ *
+ * The barrier is a ticket (seq/done) pair: workers spin briefly (with
+ * yields, so a single-CPU host still makes progress), then park on a
+ * condition variable. The coordinating thread participates as chunk 0.
+ */
+
+#ifndef GMOMS_SIM_TICK_TEAM_HH
+#define GMOMS_SIM_TICK_TEAM_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+class Engine;
+
+/** A requestWake() recorded during a parallel span, replayed on the
+ *  coordinating thread after the barrier. */
+struct BufferedWake
+{
+    std::size_t issuer;  //!< engine index of the component that ticked
+    std::size_t target;  //!< engine index of the wake target
+    Cycle at;            //!< requested wake cycle
+};
+
+namespace detail
+{
+
+/** Wake-capture context for the current thread; Engine::requestWake
+ *  diverts into it while non-null (and the engine matches). */
+struct TickWakeCapture
+{
+    Engine* engine = nullptr;  //!< engine whose wakes to capture
+    std::size_t issuer = 0;    //!< component currently ticking
+    std::vector<BufferedWake>* out = nullptr;
+};
+
+extern thread_local TickWakeCapture* tls_tick_capture;
+
+} // namespace detail
+
+class TickTeam
+{
+  public:
+    /** Spawns @p threads - 1 workers; the calling thread is chunk 0. */
+    TickTeam(Engine& engine, unsigned threads);
+    ~TickTeam();
+
+    TickTeam(const TickTeam&) = delete;
+    TickTeam& operator=(const TickTeam&) = delete;
+
+    /** Total participants (workers + the coordinating thread). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Tick components_[idx[0..n)] concurrently in deterministic
+     * contiguous chunks and block until every chunk finished. With
+     * @p query_na, each component whose query is not deferred is asked
+     * for nextActivity() right after its tick (answers via
+     * activities()). Exceptions thrown by any chunk are rethrown here,
+     * lowest chunk first, after the barrier.
+     */
+    void runSpan(const std::size_t* idx, std::size_t n, bool query_na);
+
+    /** nextActivity() answers of the last runSpan, indexed by span
+     *  position; entries for deferred queries are stale garbage. */
+    const std::vector<Cycle>& activities() const { return na_; }
+
+    /** Wakes buffered by chunk @p t during the last runSpan. */
+    const std::vector<BufferedWake>&
+    wakesOf(unsigned t) const
+    {
+        return bufs_[t].entries;
+    }
+
+  private:
+    static constexpr unsigned kIdleSpins = 4096;  //!< before parking
+    static constexpr unsigned kDoneSpins = 4096;  //!< before yielding
+
+    void workerLoop(unsigned t);
+    void runChunk(unsigned t);
+
+    /** Per-thread wake buffer, cache-line separated: entries are
+     *  appended concurrently by their owning chunk. */
+    struct alignas(64) WakeBuf
+    {
+        std::vector<BufferedWake> entries;
+    };
+
+    Engine& eng_;
+    unsigned threads_;
+
+    // Span descriptor: written by the coordinator before the seq_
+    // release, read by workers after their acquire.
+    const std::size_t* idx_ = nullptr;
+    std::size_t count_ = 0;
+    bool query_na_ = false;
+    std::vector<Cycle> na_;
+    std::vector<WakeBuf> bufs_;
+    std::vector<std::exception_ptr> errs_;
+
+    std::atomic<std::uint64_t> seq_{0};  //!< span ticket
+    std::atomic<unsigned> done_{0};      //!< finished worker chunks
+    std::atomic<bool> stop_{false};
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_SIM_TICK_TEAM_HH

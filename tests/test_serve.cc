@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/accel/checkpoint.hh"
 #include "src/obs/latency.hh"
 #include "src/serve/dataset_cache.hh"
 #include "src/serve/scheduler.hh"
@@ -343,6 +344,10 @@ TEST(ServeAdmission, SaturatedQueueAndQuotaRejectStructured)
     cfg.start_paused = true;  // nothing dispatches: queue fills
     cfg.max_queue_depth = 2;
     cfg.per_tenant_quota = 2;
+    // Quota binds on *in-flight* jobs: the repeats below must actually
+    // simulate (not replay a memoized checkpoint result in
+    // microseconds) for the queue to stay occupied across submits.
+    cfg.enable_checkpoints = false;
     GraphService service(cfg);
 
     EXPECT_TRUE(service.submit(tinyJob("a", "PageRank")).ok());
@@ -466,6 +471,71 @@ TEST(ServeCache, EvictedDatasetRebuildsToIdenticalJobResults)
     EXPECT_EQ(ra1.cycles, ra2.cycles);
     EXPECT_EQ(ra1.values_checksum, ra2.values_checksum);
     EXPECT_EQ(service.poll(b1)->state, JobState::Completed);
+}
+
+// ---------------------------------------------------------------------
+// GraphService: warm-session checkpoint pool
+// ---------------------------------------------------------------------
+
+TEST(ServeCheckpoint, RepeatJobsForkThePoolWithIdenticalResults)
+{
+    ServiceConfig cold_cfg;
+    cold_cfg.workers = 1;
+    cold_cfg.enable_checkpoints = false;
+    GraphService cold(cold_cfg);
+    const JobId ref = cold.submit(tinyJob("t", "PageRank")).id;
+    cold.drain();
+
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    GraphService service(cfg);
+    const JobId j1 = service.submit(tinyJob("t", "PageRank")).id;
+    const JobId j2 = service.submit(tinyJob("t", "PageRank")).id;
+    const JobId j3 = service.submit(tinyJob("t", "PageRank")).id;
+    service.drain();
+
+    // Checkpoint-forked (and memo-replayed) jobs are bit-identical to
+    // the cold-built run.
+    const std::uint64_t want = cold.poll(ref)->values_checksum;
+    for (JobId id : {j1, j2, j3}) {
+        const JobRecord rec = *service.poll(id);
+        EXPECT_EQ(rec.state, JobState::Completed);
+        EXPECT_EQ(rec.values_checksum, want);
+        EXPECT_EQ(rec.cycles, cold.poll(ref)->cycles);
+        EXPECT_FALSE(rec.replay.empty());
+        EXPECT_TRUE(ReplayDescriptor::parse(rec.replay).has_value());
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.checkpoints.misses, 1u);  // first job built it
+    EXPECT_EQ(stats.checkpoints.hits, 2u);
+    EXPECT_EQ(stats.checkpoints.forks, 3u);
+    EXPECT_EQ(stats.checkpoints.memo_hits, 2u);
+    EXPECT_GT(stats.checkpoints.resident_bytes, 0u);
+    // The disabled service never touched a pool.
+    EXPECT_EQ(cold.stats().checkpoints.forks, 0u);
+}
+
+TEST(ServeCheckpoint, FailedJobsCarryAParseableReplayDescriptor)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.enable_fallback = false;
+    GraphService service(cfg);
+    JobSpec doomed = tinyJob("t", "PageRank");
+    doomed.cycle_budget = 50;  // nothing finishes in 50 cycles
+    doomed.max_retries = 0;
+    const JobId id = service.submit(doomed).id;
+    service.drain();
+
+    const JobRecord rec = *service.poll(id);
+    ASSERT_EQ(rec.state, JobState::Failed);
+    const std::optional<ReplayDescriptor> rd =
+        ReplayDescriptor::parse(rec.replay);
+    ASSERT_TRUE(rd.has_value());
+    EXPECT_EQ(rd->dataset, "WT");
+    EXPECT_EQ(rd->algo, "PageRank");
+    EXPECT_EQ(rd->iterations, 2u);
 }
 
 // ---------------------------------------------------------------------

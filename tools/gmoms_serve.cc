@@ -21,7 +21,11 @@
  * unknown op returns ok=false with "error".
  *
  * Flags: --workers N, --paused (batch mode: dispatch only on drain),
- * --queue-depth N, --quota N, --cache-mb N, --no-fallback.
+ * --queue-depth N, --quota N, --cache-mb N, --no-fallback,
+ * --checkpoint-mb N, --no-checkpoints (cold-build every attempt).
+ *
+ * The stats response includes the checkpoint pool's hit/miss/fork/
+ * eviction counts, resident bytes and memo hit/miss counters.
  */
 
 #include <cstdio>
@@ -86,6 +90,7 @@ recordReport(const JobRecord& rec)
         .set("attempts", static_cast<std::uint64_t>(rec.attempts))
         .set("used_fallback", rec.used_fallback)
         .set("error", rec.error)
+        .set("replay", rec.replay)
         .set("queue_seconds", rec.queue_seconds)
         .set("prep_seconds", rec.prep_seconds)
         .set("sim_seconds", rec.sim_seconds)
@@ -232,6 +237,7 @@ usage(const char* argv0)
         stderr,
         "usage: %s [--workers N] [--paused] [--queue-depth N]\n"
         "          [--quota N] [--cache-mb N] [--no-fallback]\n"
+        "          [--checkpoint-mb N] [--no-checkpoints]\n"
         "JSON-lines serving front end; see the file header for the\n"
         "request protocol.\n",
         argv0);
@@ -276,6 +282,14 @@ main(int argc, char** argv)
                 static_cast<std::uint64_t>(std::atoll(v)) << 20;
         } else if (arg == "--no-fallback") {
             cfg.enable_fallback = false;
+        } else if (arg == "--checkpoint-mb") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.checkpoint_budget_bytes =
+                static_cast<std::uint64_t>(std::atoll(v)) << 20;
+        } else if (arg == "--no-checkpoints") {
+            cfg.enable_checkpoints = false;
         } else {
             return usage(argv[0]);
         }
