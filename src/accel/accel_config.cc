@@ -116,6 +116,45 @@ AccelConfig::validateProblems() const
         problems.push_back("checks.watchdog_interval must be > 0 when "
                            "checks are enabled");
 
+    if (cluster.boards == 0 ||
+        cluster.boards > ClusterConfig::kMaxBoards)
+        problems.push_back(
+            "cluster.boards must be in [1, " +
+            std::to_string(ClusterConfig::kMaxBoards) +
+            "] (1 = single board); got " +
+            std::to_string(cluster.boards));
+    if (cluster.mode != ClusterConfig::Mode::Bsp &&
+        cluster.mode != ClusterConfig::Mode::Async)
+        problems.push_back("cluster.mode must be Bsp or Async");
+    if (cluster.partitioner != ClusterConfig::Partitioner::BlockEdges &&
+        cluster.partitioner != ClusterConfig::Partitioner::RoundRobin)
+        problems.push_back("cluster.partitioner must be BlockEdges or "
+                           "RoundRobin");
+    if (cluster.enabled()) {
+        if (cluster.link_bytes_per_cycle == 0 ||
+            cluster.link_bytes_per_cycle > 4096)
+            problems.push_back(
+                "cluster.link_bytes_per_cycle must be in [1, 4096] "
+                "(a serial link, not a magic zero-cost wire); got " +
+                std::to_string(cluster.link_bytes_per_cycle));
+        if (cluster.link_latency == 0 || cluster.link_latency > 1'000'000)
+            problems.push_back(
+                "cluster.link_latency must be in [1, 1000000] cycles "
+                "(the engine's link-latency contract requires >= 1); "
+                "got " + std::to_string(cluster.link_latency));
+        if (cluster.link_credits == 0)
+            problems.push_back("cluster.link_credits must be > 0 (a "
+                               "pair with no credits can never send)");
+        if (cluster.link_max_packet_bytes <
+            ClusterConfig::kUpdateBytes)
+            problems.push_back(
+                "cluster.link_max_packet_bytes must hold at least one "
+                "update (" +
+                std::to_string(ClusterConfig::kUpdateBytes) +
+                " bytes); got " +
+                std::to_string(cluster.link_max_packet_bytes));
+    }
+
     return problems;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/cache/moms_system.hh"
 #include "src/check/check_config.hh"
+#include "src/cluster/cluster_config.hh"
 #include "src/mem/dram_config.hh"
 #include "src/obs/telemetry.hh"
 
@@ -80,6 +81,14 @@ struct AccelConfig
      *  the right to abort with a CheckError diagnostic. See
      *  docs/MODEL.md "Invariants & watchdog". */
     CheckConfig checks;
+
+    /** Multi-board scale-out: boards == 1 (default) runs the classic
+     *  single-board Accelerator; boards in [2, 8] replicates the whole
+     *  micro-architecture per board on one deterministic engine and
+     *  connects the boards through a timed serial link. Values stay
+     *  identical to the single board (docs/MODEL.md "Multi-board
+     *  clusters"). */
+    ClusterConfig cluster;
 
     /** Paper-style label, e.g. "16/16 moms 0k @4ch". */
     std::string

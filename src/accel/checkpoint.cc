@@ -94,6 +94,19 @@ configFingerprint(const AccelConfig& cfg)
     f.mix(cfg.checks.enabled ? 1 : 0);
     f.mix(cfg.checks.enabled ? cfg.checks.watchdog_interval : 0);
     f.mix(cfg.checks.enabled && cfg.checks.shadow_memory ? 1 : 0);
+    // Board topology: boards always separates entries; the mode,
+    // partitioner and link knobs only matter once the cluster is
+    // enabled (at boards == 1 they are ignored by construction, so
+    // single-board sessions differing only there share checkpoints).
+    f.mix(cfg.cluster.boards);
+    if (cfg.cluster.enabled()) {
+        f.mix(static_cast<std::uint64_t>(cfg.cluster.mode));
+        f.mix(static_cast<std::uint64_t>(cfg.cluster.partitioner));
+        f.mix(cfg.cluster.link_bytes_per_cycle);
+        f.mix(cfg.cluster.link_latency);
+        f.mix(cfg.cluster.link_credits);
+        f.mix(cfg.cluster.link_max_packet_bytes);
+    }
     return f.h;
 }
 

@@ -5,11 +5,16 @@
 namespace gmoms
 {
 
-Scheduler::Scheduler(const PartitionedGraph& pg, const GraphLayout& layout)
-    : pg_(&pg), layout_(&layout), updated_(pg.qd(), false)
+Scheduler::Scheduler(const PartitionedGraph& pg, const GraphLayout& layout,
+                     std::uint32_t qd_limit)
+    : pg_(&pg), layout_(&layout),
+      qd_(qd_limit == 0 ? pg.qd() : qd_limit),
+      updated_(qd_limit == 0 ? pg.qd() : qd_limit, false)
 {
-    next_ = pg.qd();       // no iteration armed yet
-    completed_ = pg.qd();
+    if (qd_ > pg.qd())
+        panic("Scheduler: qd_limit exceeds the partition's qd");
+    next_ = qd_;           // no iteration armed yet
+    completed_ = qd_;
 }
 
 void
@@ -19,13 +24,13 @@ Scheduler::startIteration()
         panic("startIteration while jobs are outstanding");
     next_ = 0;
     completed_ = 0;
-    updated_.assign(pg_->qd(), false);
+    updated_.assign(qd_, false);
 }
 
 std::optional<Job>
 Scheduler::pull()
 {
-    if (next_ >= pg_->qd())
+    if (next_ >= qd_)
         return std::nullopt;
     const std::uint32_t d = next_++;
     Job job;
@@ -45,11 +50,11 @@ Scheduler::pull()
 void
 Scheduler::complete(std::uint32_t d, bool updated)
 {
-    if (d >= pg_->qd())
+    if (d >= qd_)
         panic("complete: bad interval index");
     updated_[d] = updated;
     ++completed_;
-    if (completed_ > pg_->qd())
+    if (completed_ > qd_)
         panic("more completions than jobs");
 }
 

@@ -37,7 +37,14 @@ struct Job
 class Scheduler
 {
   public:
-    Scheduler(const PartitionedGraph& pg, const GraphLayout& layout);
+    /**
+     * @param qd_limit  Only the first qd_limit destination intervals
+     *   become jobs (0 = all). Cluster boards pass their owned-interval
+     *   count so the ghost tail of the local id space — sources only,
+     *   never destinations — is neither initialized nor written back.
+     */
+    Scheduler(const PartitionedGraph& pg, const GraphLayout& layout,
+              std::uint32_t qd_limit = 0);
 
     /** Arm a new iteration: every destination interval becomes a job.
      *  Job base addresses are re-derived from the (possibly swapped)
@@ -49,13 +56,13 @@ class Scheduler
 
     /** True while pull() would hand out a job (side-effect-free; used
      *  by idle PEs' quiescence checks). */
-    bool hasJobs() const { return next_ < pg_->qd(); }
+    bool hasJobs() const { return next_ < qd_; }
 
     /** PE completion callback with the interval's updated flag. */
     void complete(std::uint32_t d, bool updated);
 
     /** All jobs of the current iteration completed. */
-    bool iterationDone() const { return completed_ == pg_->qd(); }
+    bool iterationDone() const { return completed_ == qd_; }
 
     /** Any interval updated during the current iteration. */
     bool anyUpdated() const;
@@ -67,9 +74,13 @@ class Scheduler
      *  count total pulls for balance statistics. */
     std::uint32_t jobsPulled() const { return next_; }
 
+    /** Destination intervals actually scheduled per iteration. */
+    std::uint32_t numJobs() const { return qd_; }
+
   private:
     const PartitionedGraph* pg_;
     const GraphLayout* layout_;
+    std::uint32_t qd_ = 0;         //!< intervals scheduled (<= pg qd)
     std::uint32_t next_ = 0;       //!< next interval to hand out
     std::uint32_t completed_ = 0;
     std::vector<bool> updated_;

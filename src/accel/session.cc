@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "src/accel/checkpoint.hh"
+#include "src/cluster/cluster_engine.hh"
 #include "src/graph/generator.hh"
 #include "src/sim/log.hh"
 #include "src/sim/report.hh"
@@ -140,13 +141,28 @@ Session::runSpec(const AlgoSpec& spec, const CooGraph& g,
         if (auto hit = memo_->lookup(memo_key))
             return *hit;
     }
-    Accelerator accel(config_, pg, spec);
     SessionResult out;
-    WallTimer timer;
-    out.run = accel.run();
-    out.wall_seconds = timer.elapsedSeconds();
-    out.engine = accel.engine().stats();
-    out.full_tick = accel.engine().fullTick();
+    if (config_.cluster.enabled()) {
+        // Multi-board path: the timed plane runs one engine with a
+        // Board per shard; raw_values come from the functional plane,
+        // so they are bit-identical to the single-board run below.
+        WallTimer timer;
+        ClusterRunResult cres =
+            runCluster(config_, g, pg, spec);
+        out.wall_seconds = timer.elapsedSeconds();
+        out.run = std::move(cres.run);
+        out.cluster = std::make_shared<const ClusterReport>(
+            std::move(cres.report));
+        out.engine = cres.engine;
+        out.full_tick = cres.full_tick;
+    } else {
+        Accelerator accel(config_, pg, spec);
+        WallTimer timer;
+        out.run = accel.run();
+        out.wall_seconds = timer.elapsedSeconds();
+        out.engine = accel.engine().stats();
+        out.full_tick = accel.engine().fullTick();
+    }
     out.fmax_mhz = modelFrequencyMhz(config_, spec);
     out.gteps = out.run.gteps(out.fmax_mhz);
     out.power_watts = modelPowerWatts(config_, spec);

@@ -283,8 +283,11 @@ struct MomsSystem::CrossbarPort : public SourcePort
 
 MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
                        std::uint32_t first_mem_port, std::uint32_t num_pes,
-                       const MomsConfig& cfg)
-    : Component("moms"), engine_(engine), mem_(mem), cfg_(cfg),
+                       const MomsConfig& cfg,
+                       const std::string& name_prefix,
+                       int bank_tick_group)
+    : Component(name_prefix + "moms"), engine_(engine), mem_(mem),
+      cfg_(cfg),
       num_pes_(num_pes), num_channels_(mem.numChannels())
 {
     const bool has_shared = cfg.topology != MomsConfig::Topology::Private;
@@ -297,11 +300,12 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
                   "channel count (static bank-to-channel binding)");
         for (std::uint32_t b = 0; b < cfg.num_shared_banks; ++b) {
             shared_banks_.push_back(std::make_unique<MomsBank>(
-                engine, "moms.shared" + std::to_string(b),
+                engine, name_prefix + "moms.shared" + std::to_string(b),
                 cfg.shared_bank));
             if (cfg.dynaburst) {
                 assemblers_.push_back(std::make_unique<BurstAssembler>(
-                    engine, "moms.dynaburst" + std::to_string(b),
+                    engine,
+                    name_prefix + "moms.dynaburst" + std::to_string(b),
                     cfg.dynaburst_cfg,
                     mem.port(first_mem_port + mem_ports_used_)));
                 engine.add(assemblers_.back().get());
@@ -320,7 +324,7 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
             // its other endpoint outside the bank group (crossbar,
             // PE, or a DRAM channel port).
             engine.setTickGroup(shared_banks_.back().get(),
-                                tick_group::kCacheBank);
+                                bank_tick_group);
             // The crossbar (this component) feeds the bank's request
             // queue and drains its response queue.
             shared_banks_.back()->cpuReqIn().setProducer(this);
@@ -345,7 +349,8 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
     if (has_private) {
         for (std::uint32_t p = 0; p < num_pes; ++p) {
             private_banks_.push_back(std::make_unique<MomsBank>(
-                engine, "moms.private" + std::to_string(p),
+                engine,
+                name_prefix + "moms.private" + std::to_string(p),
                 cfg.private_bank));
             LineDownstream* down = nullptr;
             if (cfg.topology == MomsConfig::Topology::Private) {
@@ -353,7 +358,8 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
                     assemblers_.push_back(
                         std::make_unique<BurstAssembler>(
                             engine,
-                            "moms.dynaburst" + std::to_string(p),
+                            name_prefix + "moms.dynaburst" +
+                                std::to_string(p),
                             cfg.dynaburst_cfg,
                             mem.port(first_mem_port +
                                      mem_ports_used_)));
@@ -381,7 +387,7 @@ MomsSystem::MomsSystem(Engine& engine, MemorySystem& mem,
             // between banks in registration order, which fragments the
             // due-list runs — parallel spans then simply do not form.
             engine.setTickGroup(private_banks_.back().get(),
-                                tick_group::kCacheBank);
+                                bank_tick_group);
         }
     }
 

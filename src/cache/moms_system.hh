@@ -140,9 +140,14 @@ class MomsSystem : public Component
         std::int32_t stuck_client = -1;
     };
 
+    /** @p name_prefix prefixes every component name ("b2." for
+     *  cluster board 2); @p bank_tick_group is the parallel tick group
+     *  of the banks (cluster boards use per-board groups). */
     MomsSystem(Engine& engine, MemorySystem& mem,
                std::uint32_t first_mem_port, std::uint32_t num_pes,
-               const MomsConfig& cfg);
+               const MomsConfig& cfg,
+               const std::string& name_prefix = "",
+               int bank_tick_group = tick_group::kCacheBank);
     ~MomsSystem() override;
 
     SourcePort& pePort(std::uint32_t pe) { return *pe_ports_[pe]; }

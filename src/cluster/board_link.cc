@@ -1,0 +1,216 @@
+#include "src/cluster/board_link.hh"
+
+#include <algorithm>
+
+#include "src/sim/log.hh"
+
+namespace gmoms
+{
+
+BoardLink::BoardLink(Engine& engine, const ClusterConfig& cfg,
+                     std::uint32_t boards)
+    : Component("link"), cfg_(cfg), boards_(boards)
+{
+    if (boards_ < 2)
+        fatal("BoardLink needs at least two boards");
+    if (cfg_.link_bytes_per_cycle == 0 || cfg_.link_credits == 0 ||
+        cfg_.link_max_packet_bytes < ClusterConfig::kUpdateBytes)
+        fatal("BoardLink: degenerate link parameters (validate the "
+              "AccelConfig first)");
+    egress_.resize(boards_);
+    ser_remaining_.assign(boards_, 0);
+    ser_packet_.resize(boards_);
+    credits_.assign(static_cast<std::size_t>(boards_) * boards_,
+                    cfg_.link_credits);
+    inbox_.resize(boards_);
+    stats_.resize(boards_);
+    engine.add(this);
+}
+
+void
+BoardLink::send(std::uint32_t src, std::uint32_t dst,
+                std::vector<GhostUpdate> updates, std::uint32_t superstep)
+{
+    if (src >= boards_ || dst >= boards_ || src == dst)
+        panic("BoardLink::send: bad board pair");
+
+    const std::uint32_t per_packet =
+        std::max<std::uint32_t>(1, cfg_.link_max_packet_bytes /
+                                       ClusterConfig::kUpdateBytes);
+    BoardStats& st = stats_[src];
+
+    auto push = [&](std::vector<GhostUpdate> chunk, bool last) {
+        LinkPacket pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.seq = next_seq_++;
+        pkt.superstep = superstep;
+        pkt.last_in_batch = last;
+        pkt.updates = std::move(chunk);
+        pkt.wire_bytes =
+            ClusterConfig::kPacketHeaderBytes +
+            static_cast<std::uint32_t>(pkt.updates.size()) *
+                ClusterConfig::kUpdateBytes;
+        ++st.packets_sent;
+        if (pkt.marker())
+            ++st.marker_packets;
+        st.updates_sent += pkt.updates.size();
+        st.payload_bytes += pkt.wire_bytes -
+                            ClusterConfig::kPacketHeaderBytes;
+        st.header_bytes += ClusterConfig::kPacketHeaderBytes;
+        egress_[src].push_back(std::move(pkt));
+    };
+
+    if (updates.empty()) {
+        push({}, true);
+        return;
+    }
+    for (std::size_t i = 0; i < updates.size(); i += per_packet) {
+        const std::size_t end =
+            std::min(updates.size(), i + per_packet);
+        push(std::vector<GhostUpdate>(updates.begin() + i,
+                                      updates.begin() + end),
+             end == updates.size());
+    }
+}
+
+std::vector<LinkPacket>
+BoardLink::drain(std::uint32_t dst)
+{
+    std::vector<LinkPacket> out;
+    out.swap(inbox_[dst]);
+    return out;
+}
+
+bool
+BoardLink::idle() const
+{
+    for (std::uint32_t b = 0; b < boards_; ++b)
+        if (!egress_[b].empty() || ser_remaining_[b] != 0)
+            return false;
+    return events_.empty();
+}
+
+void
+BoardLink::schedule(Event ev)
+{
+    // Events are scheduled with monotonically later-or-equal (at, seq)
+    // than anything already queued per class, but credit returns and
+    // arrivals interleave; keep the deque sorted with a bounded
+    // back-walk (insertion depth is at most the in-flight count).
+    auto it = events_.end();
+    while (it != events_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->at < ev.at ||
+            (prev->at == ev.at && prev->seq < ev.seq))
+            break;
+        it = prev;
+    }
+    events_.insert(it, std::move(ev));
+}
+
+void
+BoardLink::tick()
+{
+    const Cycle now = boundEngine()->now();
+
+    // 1. Deliver due arrivals and return due credits, in (at, seq)
+    //    order.
+    while (!events_.empty() && events_.front().at <= now) {
+        Event ev = std::move(events_.front());
+        events_.pop_front();
+        if (ev.is_credit) {
+            ++credits_[ev.pair];
+        } else {
+            const std::size_t pair = pairOf(ev.packet.src,
+                                            ev.packet.dst);
+            const std::uint32_t dst = ev.packet.dst;
+            inbox_[dst].push_back(std::move(ev.packet));
+            // The ack flies back: the credit frees one flight latency
+            // after delivery.
+            Event credit;
+            credit.at = now + cfg_.link_latency;
+            credit.seq = next_seq_++;
+            credit.is_credit = true;
+            credit.pair = pair;
+            schedule(std::move(credit));
+        }
+    }
+
+    // 2. Advance every board's serializer; launch flights on completion.
+    for (std::uint32_t b = 0; b < boards_; ++b) {
+        if (ser_remaining_[b] == 0)
+            continue;
+        const std::uint64_t step = cfg_.link_bytes_per_cycle;
+        ser_remaining_[b] = ser_remaining_[b] > step
+                                ? ser_remaining_[b] - step
+                                : 0;
+        if (ser_remaining_[b] == 0) {
+            Event fly;
+            fly.at = now + cfg_.link_latency;
+            fly.seq = next_seq_++;
+            fly.is_credit = false;
+            fly.packet = std::move(ser_packet_[b]);
+            schedule(std::move(fly));
+        }
+    }
+
+    // 3. Start the next packet on idle serializers (credit permitting).
+    for (std::uint32_t b = 0; b < boards_; ++b) {
+        if (ser_remaining_[b] != 0 || egress_[b].empty())
+            continue;
+        LinkPacket& head = egress_[b].front();
+        std::uint32_t& credit = credits_[pairOf(b, head.dst)];
+        if (credit == 0) {
+            // Head-of-line blocked on the pair's credit window.
+            ++stats_[b].credit_stall_cycles;
+            continue;
+        }
+        --credit;
+        ser_remaining_[b] = head.wire_bytes;
+        ser_packet_[b] = std::move(head);
+        egress_[b].pop_front();
+    }
+}
+
+Cycle
+BoardLink::nextActivity() const
+{
+    // Serializing or holding queued packets: stay awake (byte counters
+    // and credit-stall counters move every cycle).
+    for (std::uint32_t b = 0; b < boards_; ++b)
+        if (ser_remaining_[b] != 0 || !egress_[b].empty())
+            return 0;
+    if (!events_.empty())
+        return events_.front().at;
+    return kCycleNever;
+}
+
+std::uint64_t
+BoardLink::totalWireBytes() const
+{
+    std::uint64_t total = 0;
+    for (const BoardStats& st : stats_)
+        total += st.payload_bytes + st.header_bytes;
+    return total;
+}
+
+std::uint64_t
+BoardLink::totalPackets() const
+{
+    std::uint64_t total = 0;
+    for (const BoardStats& st : stats_)
+        total += st.packets_sent;
+    return total;
+}
+
+std::uint64_t
+BoardLink::totalUpdates() const
+{
+    std::uint64_t total = 0;
+    for (const BoardStats& st : stats_)
+        total += st.updates_sent;
+    return total;
+}
+
+} // namespace gmoms

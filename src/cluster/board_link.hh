@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Timed inter-board interconnect for the simulated cluster.
+ *
+ * The link generalizes the die-crossing machinery (crossing_latency,
+ * crossbar credits) to board scope with three explicit costs:
+ *
+ *  - *Serialization*: each board owns one egress serializer that moves
+ *    link_bytes_per_cycle; a packet occupies it for
+ *    ceil(bytes / link_bytes_per_cycle) cycles (SerDes bottleneck).
+ *  - *Flight latency*: a serialized packet lands in the destination
+ *    inbox link_latency cycles later — far above the intra-die
+ *    crossing_latency.
+ *  - *Credit-based flow control*: each directed board pair has
+ *    link_credits outstanding-packet credits; a credit is consumed when
+ *    serialization starts and returns one flight latency after
+ *    delivery (the ack's return trip). A board whose egress head has
+ *    no credit stalls, and those cycles are counted per source board
+ *    and attributed to StallCause::BoardLink.
+ *
+ * Ghost updates destined for the same peer coalesce into packets of up
+ * to link_max_packet_bytes payload (burst packing); every packet
+ * additionally pays kPacketHeaderBytes on the wire. An empty update
+ * list produces one header-only *marker* packet — the BSP driver uses
+ * these so barrier traffic is paid for even when nothing changed.
+ *
+ * The link is a serially-ticked engine Component, so the idle-aware
+ * engine can never fast-forward past a delivery: nextActivity() keeps
+ * the link awake while serializing or credit-stalled (counters move
+ * every cycle) and otherwise sleeps exactly to the next flight or
+ * credit-return event. The cluster driver calls send()/drain() only
+ * between Engine::runUntil segments (wakeAll re-arms the link), never
+ * from inside a tick.
+ */
+
+#ifndef GMOMS_CLUSTER_BOARD_LINK_HH
+#define GMOMS_CLUSTER_BOARD_LINK_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/cluster/cluster_config.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+
+namespace gmoms
+{
+
+/** One ghost-value refresh on the wire (global node id + raw value). */
+struct GhostUpdate
+{
+    NodeId node = 0;
+    std::uint32_t value = 0;
+};
+
+/** One packet as delivered to a destination inbox. */
+struct LinkPacket
+{
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t seq = 0;        //!< global send order (deterministic)
+    std::uint32_t superstep = 0;  //!< sender's superstep/iteration tag
+    /** Last packet of its logical send (coalescing may split one
+     *  superstep's updates across packets; per-pair delivery is FIFO,
+     *  so this flag marks the superstep's batch complete). */
+    bool last_in_batch = true;
+    std::uint32_t wire_bytes = 0; //!< header + payload
+    std::vector<GhostUpdate> updates;  //!< empty = marker packet
+
+    bool marker() const { return updates.empty(); }
+};
+
+class BoardLink : public Component
+{
+  public:
+    /** Per-source-board traffic totals. */
+    struct BoardStats
+    {
+        std::uint64_t packets_sent = 0;
+        std::uint64_t marker_packets = 0;
+        std::uint64_t updates_sent = 0;
+        std::uint64_t payload_bytes = 0;
+        std::uint64_t header_bytes = 0;
+        /** Cycles the egress head waited for a pair credit. */
+        std::uint64_t credit_stall_cycles = 0;
+    };
+
+    BoardLink(Engine& engine, const ClusterConfig& cfg,
+              std::uint32_t boards);
+
+    /**
+     * Queue @p updates from @p src to @p dst, coalesced into packets of
+     * at most link_max_packet_bytes payload. An empty list sends one
+     * marker packet. Driver-side API: call only between runUntil
+     * segments.
+     */
+    void send(std::uint32_t src, std::uint32_t dst,
+              std::vector<GhostUpdate> updates, std::uint32_t superstep);
+
+    /** Packets delivered to board @p dst, in arrival order; clears the
+     *  inbox. */
+    std::vector<LinkPacket> drain(std::uint32_t dst);
+
+    bool hasInbox(std::uint32_t dst) const
+    {
+        return !inbox_[dst].empty();
+    }
+
+    /** All egress queues empty, nothing serializing or in flight. */
+    bool idle() const;
+
+    void tick() override;
+    Cycle nextActivity() const override;
+
+    const BoardStats& boardStats(std::uint32_t b) const
+    {
+        return stats_[b];
+    }
+
+    /** Stable counter address for Telemetry::addStall. */
+    const std::uint64_t* creditStallCounter(std::uint32_t b) const
+    {
+        return &stats_[b].credit_stall_cycles;
+    }
+
+    std::uint64_t totalWireBytes() const;
+    std::uint64_t totalPackets() const;
+    std::uint64_t totalUpdates() const;
+
+  private:
+    /** A timed occurrence: packet arrival or credit return. */
+    struct Event
+    {
+        Cycle at = 0;
+        std::uint64_t seq = 0;  //!< tiebreak: schedule order
+        bool is_credit = false;
+        std::size_t pair = 0;   //!< src * boards + dst (credit return)
+        LinkPacket packet;      //!< valid when !is_credit
+    };
+
+    std::size_t pairOf(std::uint32_t src, std::uint32_t dst) const
+    {
+        return static_cast<std::size_t>(src) * boards_ + dst;
+    }
+
+    /** Insert into events_ keeping (at, seq) order. */
+    void schedule(Event ev);
+
+    ClusterConfig cfg_;
+    std::uint32_t boards_ = 0;
+
+    /** Per-source egress FIFO of fully-formed packets. */
+    std::vector<std::deque<LinkPacket>> egress_;
+    /** Serializer state per source: remaining wire bytes of the packet
+     *  being pushed out (0 = idle). */
+    std::vector<std::uint64_t> ser_remaining_;
+    std::vector<LinkPacket> ser_packet_;
+
+    /** Available credits per directed pair. */
+    std::vector<std::uint32_t> credits_;
+
+    /** Pending arrivals/credit returns, ascending (at, seq). */
+    std::deque<Event> events_;
+
+    std::vector<std::vector<LinkPacket>> inbox_;
+    std::vector<BoardStats> stats_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CLUSTER_BOARD_LINK_HH

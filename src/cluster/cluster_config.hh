@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Configuration of the simulated multi-FPGA cluster (ROADMAP item 1).
+ *
+ * One accelerator board is bounded by its channels and MOMS capacity —
+ * the reason EXPERIMENTS.md records the 1.2M-edge scaling cap. A
+ * ClusterConfig describes how 2-8 simulated boards, each a full copy of
+ * the single-board micro-architecture, are stitched together by a
+ * modeled inter-board link: how the graph is partitioned across them,
+ * how ghost-vertex updates travel (serialization bandwidth, flight
+ * latency, credit-based flow control, packet coalescing) and whether
+ * the boards coordinate with BSP superstep barriers (GraVF-M style) or
+ * asynchronously at their own pace (Swift style).
+ *
+ * boards == 1 means "no cluster": the single-board path is taken and
+ * every link field is ignored.
+ */
+
+#ifndef GMOMS_CLUSTER_CLUSTER_CONFIG_HH
+#define GMOMS_CLUSTER_CLUSTER_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gmoms
+{
+
+struct ClusterConfig
+{
+    /** Simulated boards; 1 = single-board (cluster machinery off). */
+    std::uint32_t boards = 1;
+    static constexpr std::uint32_t kMaxBoards = 8;
+
+    /** Coordination mode between boards. */
+    enum class Mode : std::uint8_t
+    {
+        /** Bulk-synchronous: all boards run superstep k, exchange
+         *  ghost updates, barrier, then start superstep k+1. */
+        Bsp = 0,
+        /** Asynchronous: each board iterates at its own pace, applies
+         *  remote updates whenever they have arrived at its own
+         *  iteration boundaries, and parks when locally converged
+         *  until new ghost values arrive. */
+        Async = 1,
+    };
+    Mode mode = Mode::Bsp;
+
+    /** How destination intervals are assigned to boards. */
+    enum class Partitioner : std::uint8_t
+    {
+        /** Contiguous interval ranges, balanced by in-edge count. */
+        BlockEdges = 0,
+        /** Interval i on board i % boards (stress partitioner: many
+         *  cut edges, balanced node counts). */
+        RoundRobin = 1,
+    };
+    Partitioner partitioner = Partitioner::BlockEdges;
+
+    // -- inter-board link model ------------------------------------------
+    // The link generalizes the die-crossing queue/credit machinery in
+    // src/cache (crossing_latency, crossbar credits) to board scope:
+    // a serializing egress port per board, per-destination credit
+    // windows, and update coalescing into bounded packets.
+
+    /** Egress serialization bandwidth per board (bytes/cycle). A
+     *  board serializes one packet at a time; this is the SerDes
+     *  bottleneck that makes crossing traffic expensive. */
+    std::uint32_t link_bytes_per_cycle = 8;
+
+    /** One-way flight latency in cycles (much higher than the
+     *  intra-die crossing_latency of the MOMS crossbar). */
+    std::uint32_t link_latency = 128;
+
+    /** Outstanding (sent, unacknowledged) packets allowed per directed
+     *  board pair; credits return one flight latency after delivery. */
+    std::uint32_t link_credits = 4;
+
+    /** Packet payload cap in bytes: ghost updates destined for the
+     *  same peer coalesce into packets up to this size (burst
+     *  packing). Each packet additionally pays kPacketHeaderBytes. */
+    std::uint32_t link_max_packet_bytes = 512;
+
+    /** Wire overhead per packet (header + CRC), modeled as payload. */
+    static constexpr std::uint32_t kPacketHeaderBytes = 16;
+    /** Bytes of one ghost update on the wire (node id + value). */
+    static constexpr std::uint32_t kUpdateBytes = 8;
+
+    bool enabled() const { return boards > 1; }
+
+    const char*
+    modeName() const
+    {
+        return mode == Mode::Bsp ? "bsp" : "async";
+    }
+
+    const char*
+    partitionerName() const
+    {
+        return partitioner == Partitioner::BlockEdges ? "block-edges"
+                                                      : "round-robin";
+    }
+
+    /** "4xbsp/block-edges" style label for reports. */
+    std::string
+    label() const
+    {
+        return std::to_string(boards) + "x" + modeName() + "/" +
+               partitionerName();
+    }
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CLUSTER_CLUSTER_CONFIG_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Edge-cut partitioning of one (relabeled) graph across cluster boards.
+ *
+ * The unit of ownership is the destination interval (nd nodes), so the
+ * per-board shard keeps the exact interval geometry of the single-board
+ * partition: an owned global interval maps wholesale onto one local
+ * interval, preserving in-interval offsets, use_local_src locality and
+ * the per-destination edge order. Edges are assigned to the owner of
+ * their destination (edge-cut); sources owned elsewhere become *ghost*
+ * vertices, appended after the owned nodes in the board-local id space
+ * and refreshed over the inter-board link.
+ *
+ * Local id space of board b:
+ *   [0, num_owned)              owned nodes, ascending global order
+ *   [num_owned, ghost_base)     padding (only when the board owns the
+ *                               globally-last, short interval AND has
+ *                               ghosts: ghosts must start on an nd
+ *                               boundary so no destination interval
+ *                               ever mixes owned and ghost slots — a
+ *                               writeback job covers its whole
+ *                               interval and must never clobber a
+ *                               ghost value)
+ *   [ghost_base, ghost_base+G)  ghosts, ascending global order
+ *
+ * Only the globally-last destination interval may be short, and it is
+ * always the locally-last owned interval of its board, so every owned
+ * interval lands nd-aligned in local space. Padding slots have no
+ * global id (to_global holds kNoGlobalId), carry no edges, and are
+ * never exported; the harmless apply(init(...)) they receive at
+ * writeback touches nothing anyone reads.
+ */
+
+#ifndef GMOMS_CLUSTER_PARTITIONER_HH
+#define GMOMS_CLUSTER_PARTITIONER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster_config.hh"
+#include "src/graph/coo.hh"
+
+namespace gmoms
+{
+
+inline constexpr NodeId kNoLocalId = 0xffffffffu;
+inline constexpr NodeId kNoGlobalId = 0xffffffffu;  //!< padding slot
+
+/** One board's slice of the graph plus its id maps. */
+struct BoardShard
+{
+    std::uint32_t board = 0;
+
+    /** Global destination-interval ids owned by this board
+     *  (ascending; the k-th entry occupies local interval k). */
+    std::vector<std::uint32_t> intervals;
+
+    NodeId num_owned = 0;   //!< owned nodes (local ids [0, num_owned))
+    NodeId num_ghosts = 0;  //!< ghost nodes appended after the owned
+    /** First ghost local id; == num_owned rounded up to the interval
+     *  size when ghosts exist (see the file header on padding). */
+    NodeId ghost_base = 0;
+
+    /** Board-local graph: every global edge whose destination is owned
+     *  here, in global edge order, with endpoints translated to local
+     *  ids. Weights are carried through. */
+    CooGraph local;
+
+    /** local id -> global id, size ghost_base + num_ghosts; padding
+     *  slots hold kNoGlobalId. */
+    std::vector<NodeId> to_global;
+
+    EdgeId local_edges = 0;  //!< edges assigned to this board
+    EdgeId cut_edges = 0;    //!< of those, edges with a ghost source
+
+    bool empty() const { return num_owned == 0; }
+};
+
+/**
+ * The full cluster partition: per-board shards, ownership and id
+ * translation, and the export lists the link layer sends along.
+ */
+class ClusterPartition
+{
+  public:
+    /**
+     * Partition @p g (already relabeled/weighted as the session's view)
+     * into @p cc.boards shards of destination intervals of size @p nd.
+     * Deterministic: same inputs, same partition.
+     */
+    ClusterPartition(const CooGraph& g, std::uint32_t nd,
+                     const ClusterConfig& cc);
+
+    std::uint32_t boards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+    std::uint32_t nd() const { return nd_; }
+    NodeId numNodes() const { return num_nodes_; }
+
+    const BoardShard& shard(std::uint32_t b) const { return shards_[b]; }
+
+    /** Board owning global destination interval @p j. */
+    std::uint32_t ownerOfInterval(std::uint32_t j) const
+    {
+        return interval_owner_[j];
+    }
+
+    /** Board owning global node @p n. */
+    std::uint32_t ownerOfNode(NodeId n) const
+    {
+        return interval_owner_[n / nd_];
+    }
+
+    /** Global id of board-local node @p local on board @p b. */
+    NodeId globalId(std::uint32_t b, NodeId local) const;
+
+    /**
+     * Board-local id of global node @p n on board @p b: its owned slot
+     * when b owns it, its ghost slot when b ghosts it, kNoLocalId
+     * otherwise.
+     */
+    NodeId localId(std::uint32_t b, NodeId n) const;
+
+    /** Global ids owned by @p b whose values board @p p ghosts (the
+     *  link's per-direction update lists; ascending global order). */
+    const std::vector<NodeId>& exportsTo(std::uint32_t b,
+                                         std::uint32_t p) const
+    {
+        return exports_[b * boards() + p];
+    }
+
+    /** Boards this board imports ghost values from. */
+    const std::vector<std::uint32_t>& importPeers(std::uint32_t b) const
+    {
+        return import_peers_[b];
+    }
+
+    // -- aggregate stats ------------------------------------------------
+    EdgeId totalCutEdges() const { return total_cut_edges_; }
+    NodeId totalGhosts() const { return total_ghosts_; }
+    /** max over boards of local_edges / (total/boards): 1.0 = perfect. */
+    double edgeBalance() const;
+
+  private:
+    std::uint32_t nd_ = 0;
+    NodeId num_nodes_ = 0;
+    std::vector<std::uint32_t> interval_owner_;  //!< size qd
+    /** Local base node id of each global interval on its owner. */
+    std::vector<NodeId> interval_local_base_;    //!< size qd
+    std::vector<BoardShard> shards_;
+    /** exports_[b * boards + p]: owned-by-b global ids ghosted on p. */
+    std::vector<std::vector<NodeId>> exports_;
+    std::vector<std::vector<std::uint32_t>> import_peers_;
+    EdgeId total_cut_edges_ = 0;
+    NodeId total_ghosts_ = 0;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_CLUSTER_PARTITIONER_HH

@@ -75,21 +75,23 @@ datasetByTag(const std::string& tag)
 }
 
 CooGraph
-buildDataset(const DatasetProfile& profile, std::uint64_t seed)
+buildDataset(const DatasetProfile& profile, std::uint64_t seed,
+             std::uint32_t boards)
 {
+    const EdgeId edges = profile.edges(boards);
     CooGraph g;
     switch (profile.family) {
       case Family::Web: {
         // Web graphs: strong clustering in label space and heavy skew.
         // powerLaw with high locality models crawl-order labeling.
-        g = powerLaw(profile.nodes(), profile.edges(), /*alpha=*/0.72,
+        g = powerLaw(profile.nodes(), edges, /*alpha=*/0.72,
                      /*locality=*/0.8,
                      /*window=*/std::max<NodeId>(profile.nodes() / 64, 64),
                      seed);
         break;
       }
       case Family::Social: {
-        g = powerLaw(profile.nodes(), profile.edges(), /*alpha=*/0.6,
+        g = powerLaw(profile.nodes(), edges, /*alpha=*/0.6,
                      /*locality=*/0.15,
                      /*window=*/std::max<NodeId>(profile.nodes() / 64, 64),
                      seed);
@@ -97,7 +99,7 @@ buildDataset(const DatasetProfile& profile, std::uint64_t seed)
       }
       case Family::Rmat: {
         const std::uint32_t scale = rmatScaleFor(profile.nodes());
-        g = rmat(scale, profile.edges(), RmatParams{}, seed);
+        g = rmat(scale, edges, RmatParams{}, seed);
         break;
       }
     }

@@ -36,18 +36,26 @@ struct DatasetProfile
      *  label shuffle to model community-destroying native labeling. */
     bool labels_preserve_communities;
 
-    /** Edge-count cap applied after scaling (simulation-time budget);
-     *  see datasets.cc for the rationale. */
+    /** Edge-count cap applied after scaling — a PER-BOARD
+     *  simulation-time budget; see datasets.cc for the rationale. */
     static constexpr EdgeId kEdgeCap = 1'200'000;
 
     NodeId nodes() const
     {
         return static_cast<NodeId>(paper_nodes / scale_divisor);
     }
+    /**
+     * Scaled edge count, capped at kEdgeCap * @p boards. The cap is a
+     * wall-clock budget for ONE simulated board; a multi-board cluster
+     * divides the edge work across boards, so partitioned runs raise
+     * the ceiling proportionally and can exceed the historical 1.2M
+     * single-board cap (EXPERIMENTS.md, "Multi-board scale-out").
+     */
     EdgeId
-    edges() const
+    edges(std::uint32_t boards = 1) const
     {
-        return std::min<EdgeId>(paper_edges / scale_divisor, kEdgeCap);
+        return std::min<EdgeId>(paper_edges / scale_divisor,
+                                kEdgeCap * std::max(boards, 1u));
     }
 };
 
@@ -59,10 +67,12 @@ const DatasetProfile& datasetByTag(const std::string& tag);
 
 /**
  * Build the synthetic stand-in for @p profile (deterministic in
- * @p seed). The result has profile.nodes()/edges() sizes.
+ * @p seed). The result has profile.nodes()/edges(boards) sizes:
+ * @p boards > 1 raises the per-board edge cap for partitioned runs.
  */
 CooGraph buildDataset(const DatasetProfile& profile,
-                      std::uint64_t seed = 1);
+                      std::uint64_t seed = 1,
+                      std::uint32_t boards = 1);
 
 /**
  * The subset of tags used by quick benches; the GMOMS_FULL_DATASETS=1

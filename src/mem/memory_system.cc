@@ -9,19 +9,22 @@ namespace gmoms
 
 MemorySystem::MemorySystem(Engine& engine, const DramConfig& cfg,
                            std::uint32_t num_channels,
-                           std::uint32_t num_ports)
+                           std::uint32_t num_ports,
+                           const std::string& name_prefix,
+                           int dram_tick_group)
 {
     if (num_channels == 0)
         fatal("MemorySystem needs at least one channel");
     channels_.reserve(num_channels);
     for (std::uint32_t c = 0; c < num_channels; ++c) {
         channels_.push_back(std::make_unique<DramChannel>(
-            engine, "dram.ch" + std::to_string(c), cfg, num_ports));
+            engine, name_prefix + "dram.ch" + std::to_string(c), cfg,
+            num_ports));
         engine.add(channels_.back().get());
         // Channels qualify for parallel ticking: each one touches only
         // its own bank/bus state and the port queues it is the sole
         // registered endpoint of (clients live in other tick groups).
-        engine.setTickGroup(channels_.back().get(), tick_group::kDram);
+        engine.setTickGroup(channels_.back().get(), dram_tick_group);
     }
 }
 

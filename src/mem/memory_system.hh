@@ -76,9 +76,15 @@ class MemorySystem
     /**
      * @param num_channels  DDR4 channels (1, 2 or 4 on AWS f1).
      * @param num_ports     requester ports replicated on every channel.
+     * @param name_prefix   prepended to component names ("b2." for
+     *                      cluster board 2; empty single-board).
+     * @param dram_tick_group  parallel tick group for the channels
+     *                      (cluster boards use per-board groups).
      */
     MemorySystem(Engine& engine, const DramConfig& cfg,
-                 std::uint32_t num_channels, std::uint32_t num_ports);
+                 std::uint32_t num_channels, std::uint32_t num_ports,
+                 const std::string& name_prefix = "",
+                 int dram_tick_group = tick_group::kDram);
 
     /** Channel that owns byte address @p addr. */
     std::uint32_t

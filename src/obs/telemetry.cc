@@ -22,6 +22,7 @@ stallCauseName(StallCause cause)
       case StallCause::CrossingCredit: return "crossing-credit";
       case StallCause::RawHazard: return "raw-hazard";
       case StallCause::ThreadSlotsFull: return "thread-slots-full";
+      case StallCause::BoardLink: return "board-link";
     }
     return "?";
 }

@@ -64,9 +64,10 @@ enum class StallCause : std::uint8_t
     CrossingCredit,          //!< die-crossing queue out of credits
     RawHazard,               //!< gather pipeline read-after-write stall
     ThreadSlotsFull,         //!< PE out of thread (miss-tag) slots
+    BoardLink,               //!< inter-board link: credits or barrier
 };
 
-inline constexpr std::size_t kNumStallCauses = 9;
+inline constexpr std::size_t kNumStallCauses = 10;
 
 /** Stable kebab-case name, e.g. "bank-conflict". */
 const char* stallCauseName(StallCause cause);

@@ -109,6 +109,36 @@ validateJobSpec(const JobSpec& spec)
         out.config.max_cycles = spec.cycle_budget;
     out.config.checks.enabled = spec.checks;
     out.config.telemetry.enabled = spec.telemetry;
+
+    // Board topology: the JobSpec fields are authoritative (like the
+    // checks/telemetry toggles above). Range problems on boards are
+    // caught by validateProblems() below.
+    out.config.cluster.boards = spec.boards;
+    if (spec.cluster_mode == "bsp")
+        out.config.cluster.mode = ClusterConfig::Mode::Bsp;
+    else if (spec.cluster_mode == "async")
+        out.config.cluster.mode = ClusterConfig::Mode::Async;
+    else
+        problems.push_back("unknown cluster_mode \"" +
+                           spec.cluster_mode +
+                           "\" (expected bsp or async)");
+    if (spec.cluster_partitioner == "block-edges")
+        out.config.cluster.partitioner =
+            ClusterConfig::Partitioner::BlockEdges;
+    else if (spec.cluster_partitioner == "round-robin")
+        out.config.cluster.partitioner =
+            ClusterConfig::Partitioner::RoundRobin;
+    else
+        problems.push_back("unknown cluster_partitioner \"" +
+                           spec.cluster_partitioner +
+                           "\" (expected block-edges or round-robin)");
+    if (spec.boards > 1 && spec.checks)
+        // The per-board drivers coordinate through barrier/ghost waits
+        // the single-board watchdog would misread as a hang; the
+        // cluster path instead verifies its timed values against the
+        // functional plane on every run (a stronger end-state check).
+        out.config.checks.enabled = false;
+
     for (const std::string& p : out.config.validateProblems())
         problems.push_back("config: " + p);
 

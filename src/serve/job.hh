@@ -80,6 +80,18 @@ struct JobSpec
     bool checks = true;
     /** Collect PR-3 telemetry for this job's simulation. */
     bool telemetry = false;
+
+    // -- board topology (folded into the resolved config's cluster) ------
+
+    /** Simulated boards: 1 = single board (default), 2-8 = multi-board
+     *  cluster. The values checksum is identical either way (the
+     *  cluster determinism contract, docs/MODEL.md). */
+    std::uint32_t boards = 1;
+    /** Coordination mode: "bsp" or "async" (ignored at boards == 1). */
+    std::string cluster_mode = "bsp";
+    /** Partitioner: "block-edges" or "round-robin" (ignored at
+     *  boards == 1). */
+    std::string cluster_partitioner = "block-edges";
 };
 
 /** Terminal (or in-flight) state of an admitted job. */

@@ -48,6 +48,24 @@ namespace tick_group
 {
 constexpr int kDram = 0;       //!< all DramChannels
 constexpr int kCacheBank = 1;  //!< all MomsBanks (shared and private)
+
+/** Cluster boards get disjoint per-board groups so one board's banks
+ *  never share a parallel span with another board's: board b's DRAM
+ *  channels tick in group 2b and its MOMS banks in group 2b+1 (board 0
+ *  coincides with the single-board ids above). The hazard contract
+ *  holds per board exactly as it does single-board — a board's
+ *  components only touch board-local queues; cross-board traffic goes
+ *  through the serially-ticked BoardLink. */
+constexpr int
+boardDram(std::uint32_t board)
+{
+    return static_cast<int>(board) * 2;
+}
+constexpr int
+boardCacheBank(std::uint32_t board)
+{
+    return static_cast<int>(board) * 2 + 1;
+}
 } // namespace tick_group
 
 /**

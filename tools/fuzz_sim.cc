@@ -184,10 +184,49 @@ drawConfig(std::mt19937_64& rng, const Options& opts,
     cfg.checks.watchdog_interval = 200'000;
     cfg.checks.dump_path = opts.dump_path;
 
+    // A third of the draws become multi-board clusters: the cluster
+    // path must satisfy the same oracles as the single board (engine
+    // modes bit-exact, golden agreement) for every topology and link
+    // shape, including a starved link (1 credit, 500-cycle latency).
+    if (rng() % 3 == 0) {
+        static const std::uint32_t kBoards[] = {2, 3, 4, 8};
+        static const std::uint32_t kLinkBytes[] = {4, 16, 64};
+        static const Cycle kLinkLat[] = {8, 64, 500};
+        static const std::uint32_t kCredits[] = {1, 4, 16};
+        static const std::uint32_t kPacket[] = {24, 64, 1024};
+        cfg.cluster.boards = pick(rng, kBoards);
+        cfg.cluster.mode = rng() % 2 ? ClusterConfig::Mode::Async
+                                     : ClusterConfig::Mode::Bsp;
+        cfg.cluster.partitioner =
+            rng() % 2 ? ClusterConfig::Partitioner::RoundRobin
+                      : ClusterConfig::Partitioner::BlockEdges;
+        cfg.cluster.link_bytes_per_cycle = pick(rng, kLinkBytes);
+        cfg.cluster.link_latency = pick(rng, kLinkLat);
+        cfg.cluster.link_credits = pick(rng, kCredits);
+        cfg.cluster.link_max_packet_bytes = pick(rng, kPacket);
+        // Boards park for long stretches at barriers / on ghost waits;
+        // the quiescence watchdog would misread that as a hang (same
+        // rule serve::validateJobSpec applies to boards > 1).
+        cfg.checks.enabled = false;
+        cfg.checks.shadow_memory = false;
+    }
+
     char buf[96];
     std::snprintf(buf, sizeof(buf), "%s %u pe / %u ch / %u banks",
                   shape, cfg.num_pes, cfg.num_channels, banks);
     *desc = buf;
+    if (cfg.cluster.enabled()) {
+        std::snprintf(buf, sizeof(buf), " x %u boards (%s, %s)",
+                      cfg.cluster.boards,
+                      cfg.cluster.mode == ClusterConfig::Mode::Bsp
+                          ? "bsp"
+                          : "async",
+                      cfg.cluster.partitioner ==
+                              ClusterConfig::Partitioner::BlockEdges
+                          ? "block-edges"
+                          : "round-robin");
+        *desc += buf;
+    }
     return cfg;
 }
 
