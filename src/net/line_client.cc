@@ -1,0 +1,166 @@
+#include "src/net/line_client.hh"
+
+#include <cstring>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace gmoms::net
+{
+
+#ifdef __linux__
+
+LineClient::~LineClient()
+{
+    close();
+}
+
+bool
+LineClient::connect(const std::string& host, std::uint16_t port,
+                    std::string* error)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string resolved =
+        host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad host \"" + host + "\" (IPv4 dotted quad)";
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "connect " + resolved + ":" +
+                     std::to_string(port) + ": " +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+}
+
+bool
+LineClient::sendLine(const std::string& line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            close();
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string>
+LineClient::recvLine()
+{
+    while (true) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        if (fd_ < 0)
+            return std::nullopt;
+        char buf[64 * 1024];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            buffer_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        close();
+        return std::nullopt;
+    }
+}
+
+std::optional<std::string>
+LineClient::roundTrip(const std::string& line)
+{
+    if (!sendLine(line))
+        return std::nullopt;
+    return recvLine();
+}
+
+void
+LineClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+#else // !__linux__
+
+LineClient::~LineClient()
+{
+}
+
+bool
+LineClient::connect(const std::string&, std::uint16_t, std::string* error)
+{
+    if (error)
+        *error = "LineClient requires Linux";
+    return false;
+}
+
+bool
+LineClient::sendLine(const std::string&)
+{
+    return false;
+}
+
+std::optional<std::string>
+LineClient::recvLine()
+{
+    return std::nullopt;
+}
+
+std::optional<std::string>
+LineClient::roundTrip(const std::string&)
+{
+    return std::nullopt;
+}
+
+void
+LineClient::close()
+{
+}
+
+#endif // __linux__
+
+} // namespace gmoms::net

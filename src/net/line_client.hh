@@ -1,0 +1,61 @@
+/**
+ * @file
+ * LineClient: the client half of the newline-delimited protocol — a
+ * small blocking TCP client (connect, send lines, receive lines) used
+ * by bench_serve's open-loop TCP load generator, the net tests and any
+ * external driver that wants to talk to `gmoms_serve --listen` without
+ * hand-rolling socket framing.
+ *
+ * Deliberately blocking: clients measure round trips and pump
+ * pipelines; the *server* is the side that must never block
+ * (src/net/tcp_server.hh). Received bytes are buffered internally so
+ * pipelined responses arrive line-exact regardless of TCP segmenting.
+ * Not thread-safe — one client per connection per thread.
+ */
+
+#ifndef GMOMS_NET_LINE_CLIENT_HH
+#define GMOMS_NET_LINE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gmoms::net
+{
+
+class LineClient
+{
+  public:
+    LineClient() = default;
+    ~LineClient();
+
+    LineClient(const LineClient&) = delete;
+    LineClient& operator=(const LineClient&) = delete;
+
+    /** Connect to @p host:@p port (IPv4 dotted quad or "localhost").
+     *  False with @p error filled on failure. */
+    bool connect(const std::string& host, std::uint16_t port,
+                 std::string* error = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send @p line + '\n' (blocking until fully written). */
+    bool sendLine(const std::string& line);
+
+    /** Next response line (without '\n'), blocking until one arrives.
+     *  nullopt on EOF or error. */
+    std::optional<std::string> recvLine();
+
+    /** sendLine + recvLine: one synchronous round trip. */
+    std::optional<std::string> roundTrip(const std::string& line);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace gmoms::net
+
+#endif // GMOMS_NET_LINE_CLIENT_HH

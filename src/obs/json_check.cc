@@ -6,6 +6,15 @@
 namespace gmoms
 {
 
+std::uint64_t
+JsonValue::asUint64(std::uint64_t fallback) const
+{
+    if (kind != Kind::Number || raw.empty() || raw[0] == '-' ||
+        raw.find_first_of(".eE") != std::string::npos)
+        return fallback;
+    return std::strtoull(raw.c_str(), nullptr, 10);
+}
+
 const JsonValue*
 JsonValue::find(const std::string& key) const
 {
@@ -297,9 +306,8 @@ class Parser
             }
         }
         out.kind = JsonValue::Kind::Number;
-        out.number = std::strtod(
-            std::string(text_.substr(start, pos_ - start)).c_str(),
-            nullptr);
+        out.raw = std::string(text_.substr(start, pos_ - start));
+        out.number = std::strtod(out.raw.c_str(), nullptr);
         return true;
     }
 

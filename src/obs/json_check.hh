@@ -13,6 +13,7 @@
 #ifndef GMOMS_OBS_JSON_CHECK_HH
 #define GMOMS_OBS_JSON_CHECK_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -37,6 +38,10 @@ struct JsonValue
     Kind kind = Kind::Null;
     bool boolean = false;
     double number = 0.0;
+    /** Exact source lexeme of a Number — `number` is a double, which
+     *  silently rounds integers above 2^53 (values_checksum is a full
+     *  uint64), so bit-exact consumers re-parse this instead. */
+    std::string raw;
     std::string string;
     std::vector<JsonValue> array;
     std::vector<std::pair<std::string, JsonValue>> object;
@@ -49,6 +54,10 @@ struct JsonValue
 
     /** First member named @p key; null when absent or not an object. */
     const JsonValue* find(const std::string& key) const;
+
+    /** The value as an exact uint64 (from the raw lexeme); @p fallback
+     *  when this is not a non-negative integer number. */
+    std::uint64_t asUint64(std::uint64_t fallback = 0) const;
 };
 
 /**

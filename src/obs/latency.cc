@@ -58,6 +58,51 @@ LatencyStats::percentile(double p) const
 }
 
 void
+LatencyBreakdown::add(const std::string& layer, double seconds)
+{
+    for (auto& [name, stats] : layers_)
+        if (name == layer) {
+            stats.add(seconds);
+            return;
+        }
+    layers_.emplace_back(layer, LatencyStats{});
+    layers_.back().second.add(seconds);
+}
+
+void
+LatencyBreakdown::merge(const LatencyBreakdown& other)
+{
+    for (const auto& [name, stats] : other.layers_) {
+        bool merged = false;
+        for (auto& [mine, own] : layers_)
+            if (mine == name) {
+                own.merge(stats);
+                merged = true;
+                break;
+            }
+        if (!merged)
+            layers_.emplace_back(name, stats);
+    }
+}
+
+const LatencyStats*
+LatencyBreakdown::find(const std::string& layer) const
+{
+    for (const auto& [name, stats] : layers_)
+        if (name == layer)
+            return &stats;
+    return nullptr;
+}
+
+void
+LatencyBreakdown::appendTo(JsonReport& report,
+                           const std::string& prefix) const
+{
+    for (const auto& [name, stats] : layers_)
+        appendLatency(report, prefix + "_" + name, stats);
+}
+
+void
 appendLatency(JsonReport& report, const std::string& prefix,
               const LatencyStats& stats)
 {

@@ -52,6 +52,41 @@ class LatencyStats
 void appendLatency(JsonReport& report, const std::string& prefix,
                    const LatencyStats& stats);
 
+/**
+ * Named per-layer latency distributions, in first-use order: the
+ * networked front end (ISSUE 9) spans more layers than one simulation
+ * — epoll read -> protocol handling -> admission queue -> simulation ->
+ * write flush — and the SLO question is always "which layer ate the
+ * budget". A LatencyBreakdown holds one LatencyStats per named layer so
+ * the TCP server (net_handle/net_flush), the service (queue/prep/sim)
+ * and the bench client (rpc) all report through the same shape.
+ *
+ * Thread-compat like LatencyStats: callers synchronize externally.
+ */
+class LatencyBreakdown
+{
+  public:
+    /** Record one sample for @p layer (created on first use). */
+    void add(const std::string& layer, double seconds);
+
+    void merge(const LatencyBreakdown& other);
+
+    /** Layer stats, or null when the layer never recorded a sample. */
+    const LatencyStats* find(const std::string& layer) const;
+
+    const std::vector<std::pair<std::string, LatencyStats>>&
+    layers() const
+    {
+        return layers_;
+    }
+
+    /** appendLatency() for every layer as prefix_layer_{...}. */
+    void appendTo(JsonReport& report, const std::string& prefix) const;
+
+  private:
+    std::vector<std::pair<std::string, LatencyStats>> layers_;
+};
+
 } // namespace gmoms
 
 #endif // GMOMS_OBS_LATENCY_HH

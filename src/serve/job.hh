@@ -121,6 +121,10 @@ struct JobRecord
     JobState state = JobState::Queued;
     std::uint32_t attempts = 0;      //!< runs started (incl. fallback)
     bool used_fallback = false;
+    /** Completed straight from the deterministic result cache — no
+     *  simulation ran; the result fields (and values_checksum) are the
+     *  pinned cold-run values (src/serve/result_cache.hh). */
+    bool from_cache = false;
     std::string error;               //!< last failure reason, if any
     /** ReplayDescriptor of the last attempt (the fallback config's
      *  once the job degrades): paste into a fresh process to re-run

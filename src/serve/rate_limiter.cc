@@ -1,0 +1,54 @@
+#include "src/serve/rate_limiter.hh"
+
+#include <algorithm>
+
+namespace gmoms::serve
+{
+
+RateLimiter::RateLimiter(double rate_hz, double burst)
+    : rate_hz_(rate_hz),
+      burst_(burst > 0 ? burst : std::max(1.0, rate_hz))
+{
+}
+
+RateLimiter::Decision
+RateLimiter::acquire(const std::string& tenant, double now_seconds)
+{
+    Decision d;
+    if (rate_hz_ <= 0) {
+        ++stats_.allowed;
+        return d;
+    }
+
+    auto [it, fresh] = buckets_.try_emplace(tenant);
+    Bucket& b = it->second;
+    if (fresh) {
+        // A new tenant starts with a full bucket: the first burst of a
+        // well-behaved client is never punished.
+        b.tokens = burst_;
+        b.last_refill = now_seconds;
+    }
+    const double elapsed = std::max(0.0, now_seconds - b.last_refill);
+    b.tokens = std::min(burst_, b.tokens + elapsed * rate_hz_);
+    b.last_refill = std::max(b.last_refill, now_seconds);
+
+    if (b.tokens >= 1.0) {
+        b.tokens -= 1.0;
+        ++stats_.allowed;
+        return d;
+    }
+    d.allowed = false;
+    d.retry_after_seconds = (1.0 - b.tokens) / rate_hz_;
+    ++stats_.limited;
+    return d;
+}
+
+RateLimiter::Stats
+RateLimiter::stats() const
+{
+    Stats s = stats_;
+    s.tenants = buckets_.size();
+    return s;
+}
+
+} // namespace gmoms::serve

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-tenant token-bucket rate limiting for the serving layer
+ * (ISSUE 9): sits *in front of* the admission quotas, so a tenant that
+ * floods the front end is pushed back with a structured 429-style
+ * rejection (code "rate_limited" + a retry-after hint) before its
+ * requests ever contend for queue depth or quota slots.
+ *
+ * Like AdmissionQueue this is deliberately a pure data structure: no
+ * threads, no internal clock. The caller passes the current time (the
+ * service uses its lifetime timer; tests pass explicit instants), so
+ * every decision is a deterministic function of the call history —
+ * unit-testable without sleeping.
+ *
+ * Semantics: each tenant owns a bucket of @ref burst tokens refilled
+ * continuously at @ref rate_hz tokens/second. A request costs one
+ * token; an empty bucket rejects with the exact time until the next
+ * token accrues. rate_hz <= 0 disables the limiter (every request is
+ * allowed and counted).
+ */
+
+#ifndef GMOMS_SERVE_RATE_LIMITER_HH
+#define GMOMS_SERVE_RATE_LIMITER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gmoms::serve
+{
+
+class RateLimiter
+{
+  public:
+    /** @param rate_hz  steady-state tokens/second per tenant;
+     *                  <= 0 disables limiting.
+     *  @param burst    bucket capacity (max tokens banked while idle);
+     *                  <= 0 picks max(1, rate_hz). */
+    RateLimiter(double rate_hz, double burst);
+
+    struct Decision
+    {
+        bool allowed = true;
+        /** Seconds until one full token accrues; 0 when allowed. The
+         *  429-style hint clients should wait before retrying. */
+        double retry_after_seconds = 0;
+    };
+
+    /** Charge one token to @p tenant at time @p now_seconds (monotone
+     *  per caller; regressions are clamped, never refunded). */
+    Decision acquire(const std::string& tenant, double now_seconds);
+
+    struct Stats
+    {
+        std::uint64_t allowed = 0;
+        std::uint64_t limited = 0;
+        std::uint64_t tenants = 0;  //!< distinct tenants seen
+    };
+
+    Stats stats() const;
+
+    bool enabled() const { return rate_hz_ > 0; }
+    double rateHz() const { return rate_hz_; }
+    double burst() const { return burst_; }
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0;
+        double last_refill = 0;
+    };
+
+    const double rate_hz_;
+    const double burst_;
+    std::map<std::string, Bucket> buckets_;
+    Stats stats_;
+};
+
+} // namespace gmoms::serve
+
+#endif // GMOMS_SERVE_RATE_LIMITER_HH

@@ -55,19 +55,23 @@ replayFor(const JobSpec& spec, const AccelConfig& cfg,
 } // namespace
 
 JsonReport
-ServiceStats::report() const
+ServiceStats::toJson() const
 {
     JsonReport r;
     r.set("submitted", submitted)
         .set("rejected", rejected)
+        .set("rate_limited", rate_limited)
         .set("completed", completed)
+        .set("result_cache_completed", result_cache_completed)
         .set("degraded", degraded)
         .set("failed", failed)
         .set("retries", retries)
         .set("fallback_runs", fallback_runs)
         .set("rejection_rate", rejectionRate())
         .set("jobs_per_sec", jobsPerSecond())
-        .set("wall_seconds", wall_seconds);
+        .set("wall_seconds", wall_seconds)
+        .set("queued", queued)
+        .set("running", running);
     appendLatency(r, "queue_wait", queue_wait);
     appendLatency(r, "prep", prep);
     appendLatency(r, "sim", sim);
@@ -76,6 +80,16 @@ ServiceStats::report() const
         .set("cache_misses", cache.misses)
         .set("cache_evictions", cache.evictions)
         .set("cache_bytes", cache.bytes);
+    r.set("result_cache_hits", result_cache.hits)
+        .set("result_cache_misses", result_cache.misses)
+        .set("result_cache_insertions", result_cache.insertions)
+        .set("result_cache_evictions", result_cache.evictions)
+        .set("result_cache_entries", result_cache.entries)
+        .set("result_cache_bytes", result_cache.bytes)
+        .set("result_cache_hit_rate", result_cache.hitRate());
+    r.set("rate_allowed", rate.allowed)
+        .set("rate_limited_total", rate.limited)
+        .set("rate_tenants", rate.tenants);
     r.set("checkpoint_hits", checkpoints.hits)
         .set("checkpoint_misses", checkpoints.misses)
         .set("checkpoint_forks", checkpoints.forks)
@@ -94,6 +108,14 @@ GraphService::GraphService(ServiceConfig cfg)
                      ? std::make_unique<CheckpointPool>(
                            cfg.checkpoint_budget_bytes)
                      : nullptr),
+      result_cache_(cfg.enable_result_cache
+                        ? std::make_unique<ResultCache>(
+                              cfg.result_cache_budget_bytes)
+                        : nullptr),
+      limiter_(cfg.rate_limit_hz > 0
+                   ? std::make_unique<RateLimiter>(cfg.rate_limit_hz,
+                                                   cfg.rate_limit_burst)
+                   : nullptr),
       pool_(cfg.workers),
       queue_(cfg.max_queue_depth, cfg.per_tenant_quota),
       paused_(cfg.start_paused)
@@ -125,6 +147,70 @@ GraphService::submit(JobSpec spec)
         reasons.push_back("service is shutting down");
     for (std::string& p : valid.problems)
         reasons.push_back(std::move(p));
+
+    // Token-bucket pushback sits in front of the admission quotas: a
+    // flooding tenant gets a 429-style rejection (with a retry hint)
+    // before its requests contend for queue depth or quota slots.
+    if (reasons.empty() && limiter_) {
+        const RateLimiter::Decision d =
+            limiter_->acquire(spec.tenant, lifetime_.elapsedSeconds());
+        if (!d.allowed) {
+            ++stats_.rejected;
+            ++stats_.rate_limited;
+            out.rate_limited = true;
+            out.retry_after_seconds = d.retry_after_seconds;
+            out.rejected.push_back(
+                "tenant \"" + spec.tenant +
+                "\" is rate limited (retry after " +
+                std::to_string(d.retry_after_seconds) + " s)");
+            return out;
+        }
+    }
+
+    // Deterministic result cache: a repeat of an already-*Completed*
+    // query returns its pinned result summary in O(1) — terminal at
+    // submission, no admission, no simulation.
+    std::string result_key;
+    if (reasons.empty() && result_cache_) {
+        result_key =
+            ResultCache::keyFor(spec, configFingerprint(valid.config));
+        if (const std::optional<ResultCache::Entry> hit =
+                result_cache_->get(result_key)) {
+            const JobId id = next_id_++;
+            Job& job = jobs_[id];
+            job.spec = std::move(spec);
+            job.config = std::move(valid.config);
+            job.result_key = std::move(result_key);
+            JobRecord& rec = job.rec;
+            rec.id = id;
+            rec.tenant = job.spec.tenant;
+            rec.dataset = job.spec.dataset;
+            rec.algo = job.spec.algo;
+            rec.priority = job.spec.priority;
+            rec.state = JobState::Completed;
+            rec.from_cache = true;
+            rec.replay = hit->replay;
+            rec.cycles = hit->cycles;
+            rec.iterations = hit->iterations;
+            rec.edges_processed = hit->edges_processed;
+            rec.dram_bytes_read = hit->dram_bytes_read;
+            rec.dram_bytes_written = hit->dram_bytes_written;
+            rec.moms_hit_rate = hit->moms_hit_rate;
+            rec.gteps = hit->gteps;
+            rec.values_checksum = hit->values_checksum;
+            completion_log_.push_back(id);
+            ++stats_.completed;
+            ++stats_.result_cache_completed;
+            stats_.queue_wait.add(0.0);
+            stats_.prep.add(0.0);
+            stats_.sim.add(0.0);
+            stats_.total.add(job.admitted.elapsedSeconds());
+            out.id = id;
+            out.from_cache = true;
+            return out;
+        }
+    }
+
     if (reasons.empty())
         reasons = queue_.tryAdmit(next_id_, spec.tenant, spec.priority);
     if (!reasons.empty()) {
@@ -137,6 +223,7 @@ GraphService::submit(JobSpec spec)
     Job& job = jobs_[id];
     job.spec = std::move(spec);
     job.config = std::move(valid.config);
+    job.result_key = std::move(result_key);
     job.rec.id = id;
     job.rec.tenant = job.spec.tenant;
     job.rec.dataset = job.spec.dataset;
@@ -193,9 +280,15 @@ GraphService::stats() const
     std::lock_guard<std::mutex> lock(mu_);
     ServiceStats s = stats_;
     s.wall_seconds = lifetime_.elapsedSeconds();
+    s.queued = queue_.queued();
+    s.running = queue_.running();
     s.cache = cache_.stats();
     if (ckpt_pool_)
         s.checkpoints = ckpt_pool_->stats();
+    if (result_cache_)
+        s.result_cache = result_cache_->stats();
+    if (limiter_)
+        s.rate = limiter_->stats();
     return s;
 }
 
@@ -375,6 +468,22 @@ GraphService::drainerLoop()
         Job& finished_job = jobs_.at(id);
         rec.total_seconds = finished_job.admitted.elapsedSeconds();
         finished_job.rec = rec;
+        // Only a *Completed* run is cacheable: it ran the keyed config
+        // (a Degraded run executed the fallback preset instead).
+        if (result_cache_ && rec.state == JobState::Completed &&
+            !finished_job.result_key.empty()) {
+            ResultCache::Entry entry;
+            entry.cycles = rec.cycles;
+            entry.iterations = rec.iterations;
+            entry.edges_processed = rec.edges_processed;
+            entry.dram_bytes_read = rec.dram_bytes_read;
+            entry.dram_bytes_written = rec.dram_bytes_written;
+            entry.moms_hit_rate = rec.moms_hit_rate;
+            entry.gteps = rec.gteps;
+            entry.values_checksum = rec.values_checksum;
+            entry.replay = rec.replay;
+            result_cache_->put(finished_job.result_key, entry);
+        }
         stats_.retries += retries;
         stats_.fallback_runs += fallback_runs;
         queue_.complete(id);

@@ -51,6 +51,8 @@
 #include "src/serve/checkpoint_pool.hh"
 #include "src/serve/dataset_cache.hh"
 #include "src/serve/job.hh"
+#include "src/serve/rate_limiter.hh"
+#include "src/serve/result_cache.hh"
 #include "src/serve/scheduler.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/report.hh"
@@ -84,6 +86,23 @@ struct ServiceConfig
     /** Checkpoint-pool resident-byte budget; 0 = unbounded. */
     std::uint64_t checkpoint_budget_bytes = 1024ull << 20;
 
+    /** Serve repeat queries from the deterministic result cache: a
+     *  submit whose (dataset, prep, algo, source, iterations, config
+     *  fingerprint) key already holds a *Completed* result returns the
+     *  pinned values_checksum in O(1) without admission or simulation
+     *  (ISSUE 9). Off = every submit simulates. */
+    bool enable_result_cache = true;
+    /** Result-cache byte budget; 0 = unbounded. Entries are ~200 B so
+     *  the default holds hundreds of thousands of distinct queries. */
+    std::uint64_t result_cache_budget_bytes = 64ull << 20;
+
+    /** Per-tenant token-bucket rate limit ahead of the admission
+     *  quotas; <= 0 disables (the default — admission depth/quota
+     *  remain the only pushback). */
+    double rate_limit_hz = 0;
+    /** Bucket capacity; <= 0 = max(1, rate_limit_hz). */
+    double rate_limit_burst = 0;
+
     /** Degrade-instead-of-fail: after all retries, run once on
      *  @ref fallback with @ref fallback_budget. */
     bool enable_fallback = true;
@@ -99,7 +118,9 @@ struct ServiceStats
 {
     std::uint64_t submitted = 0;  //!< submit() calls
     std::uint64_t rejected = 0;   //!< refused at admission
+    std::uint64_t rate_limited = 0;  //!< subset of rejected (429s)
     std::uint64_t completed = 0;
+    std::uint64_t result_cache_completed = 0;  //!< subset of completed
     std::uint64_t degraded = 0;
     std::uint64_t failed = 0;
     std::uint64_t retries = 0;        //!< failed attempts re-tried
@@ -111,8 +132,12 @@ struct ServiceStats
     LatencyStats total;
 
     double wall_seconds = 0;  //!< service lifetime at stats() time
+    std::uint64_t queued = 0;   //!< admission snapshot at stats() time
+    std::uint64_t running = 0;  //!< dispatched, not yet terminal
     DatasetCache::Stats cache;
     CheckpointPool::Stats checkpoints;  //!< zeros when pool disabled
+    ResultCache::Stats result_cache;    //!< zeros when cache disabled
+    RateLimiter::Stats rate;            //!< zeros when limiter off
 
     std::uint64_t terminal() const
     {
@@ -134,8 +159,14 @@ struct ServiceStats
                    : 0.0;
     }
 
-    /** Flat JSON block (the payload of BENCH_serve.json records). */
-    JsonReport report() const;
+    /**
+     * THE one service-statistics serialization (ISSUE 9 satellite):
+     * admission counters, latency percentiles, dataset cache,
+     * checkpoint pool, result cache and rate limiter, as one flat JSON
+     * block (the payload of BENCH_serve.json records and of every
+     * protocol stats response). Schema documented in docs/MODEL.md.
+     */
+    JsonReport toJson() const;
 };
 
 class GraphService
@@ -154,6 +185,13 @@ class GraphService
     {
         JobId id = kInvalidJob;
         std::vector<std::string> rejected;
+        /** Refused by the per-tenant token bucket (a 429, not a quota
+         *  rejection): retry_after_seconds says when to come back. */
+        bool rate_limited = false;
+        double retry_after_seconds = 0;
+        /** Answered from the result cache: the id is terminal
+         *  (Completed) already, no simulation was scheduled. */
+        bool from_cache = false;
 
         bool ok() const { return id != kInvalidJob; }
     };
@@ -189,6 +227,11 @@ class GraphService
     {
         return ckpt_pool_.get();
     }
+    /** Null when ServiceConfig::enable_result_cache is false. */
+    const ResultCache* resultCache() const
+    {
+        return result_cache_.get();
+    }
     unsigned workers() const { return pool_.workers(); }
 
   private:
@@ -196,6 +239,7 @@ class GraphService
     {
         JobSpec spec;
         AccelConfig config;  //!< resolved by validateJobSpec
+        std::string result_key;  //!< ResultCache::keyFor, "" = uncachable
         JobRecord rec;
         WallTimer admitted;          //!< starts at admission
         std::uint64_t dispatch_idx = 0;
@@ -218,6 +262,8 @@ class GraphService
     const AccelConfig fallback_config_;
     DatasetCache cache_;
     std::unique_ptr<CheckpointPool> ckpt_pool_;  //!< null = disabled
+    std::unique_ptr<ResultCache> result_cache_;  //!< null = disabled
+    std::unique_ptr<RateLimiter> limiter_;       //!< null = disabled
     ThreadPool pool_;
     WallTimer lifetime_;
 

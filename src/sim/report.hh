@@ -66,6 +66,13 @@ class JsonReport
     /** Serialize as a single JSON object (keys in insertion order). */
     void write(std::ostream& os) const;
 
+    /** The key/value entries in insertion order (the protocol encoder
+     *  flattens result payloads into v1-shaped responses). */
+    const std::vector<std::pair<std::string, Value>>& entries() const
+    {
+        return entries_;
+    }
+
     std::string str() const;
 
     /** Write @p s as a JSON string literal (quotes, backslashes and

@@ -346,8 +346,10 @@ TEST(ServeAdmission, SaturatedQueueAndQuotaRejectStructured)
     cfg.per_tenant_quota = 2;
     // Quota binds on *in-flight* jobs: the repeats below must actually
     // simulate (not replay a memoized checkpoint result in
-    // microseconds) for the queue to stay occupied across submits.
+    // microseconds, nor complete at submit time from the result cache)
+    // for the queue to stay occupied across submits.
     cfg.enable_checkpoints = false;
+    cfg.enable_result_cache = false;
     GraphService service(cfg);
 
     EXPECT_TRUE(service.submit(tinyJob("a", "PageRank")).ok());

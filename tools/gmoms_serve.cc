@@ -1,43 +1,40 @@
 /**
  * @file
- * gmoms_serve: the serving layer as a process — JSON-lines over
- * stdin/stdout (one request object per line, one response object per
- * line), so external drivers and shell scripts can push jobs through
- * GraphService without linking the library.
+ * gmoms_serve: the serving layer as a process. Two front ends over the
+ * same protocol (src/serve/protocol.hh):
  *
- * Requests ("op" selects the verb):
- *   {"op":"submit","tenant":"a","dataset":"WT","algo":"PageRank",
- *    "prep":"dbg+hash","iterations":10,"source":0,
- *    "preset":"paper18x16","priority":2,"cycle_budget":0,
- *    "max_retries":1,"checks":true,"telemetry":false}
- *   {"op":"poll","id":3}
- *   {"op":"stats"}
- *   {"op":"drain"}
- *   {"op":"quit"}
+ *   - stdin mode (default): JSON-lines over stdin/stdout, one request
+ *     object per line, one response object per line — shell-scriptable,
+ *     zero sockets;
+ *   - TCP mode (--listen PORT): the epoll front end (src/net/) on
+ *     --bind (loopback by default), any number of pipelining clients,
+ *     graceful drain-and-exit on a quit request. The bound port is
+ *     printed to stdout as `{"listening":PORT}` so drivers using an
+ *     ephemeral port (--listen 0) can find it.
  *
- * Every response carries "op" (echo) and "ok". A rejected submit is
- * NOT a protocol error: it returns ok=false plus the full "rejected"
- * reason list, mirroring GraphService::Submitted. Malformed JSON or an
- * unknown op returns ok=false with "error".
+ * Both speak v1 (PR 5 bare JSON-lines, answered bit-compatibly) and v2
+ * (`"v":2` + `request_id`, tagged-union responses); see the protocol
+ * header for the wire shapes and docs/MODEL.md for the schema.
  *
- * Flags: --workers N, --paused (batch mode: dispatch only on drain),
- * --queue-depth N, --quota N, --cache-mb N, --no-fallback,
- * --checkpoint-mb N, --no-checkpoints (cold-build every attempt).
+ * Service flags: --workers N, --paused (batch mode: dispatch only on
+ * drain), --queue-depth N, --quota N, --cache-mb N, --no-fallback,
+ * --checkpoint-mb N, --no-checkpoints, --result-cache-mb N,
+ * --no-result-cache, --rate-hz R --rate-burst B (per-tenant token
+ * bucket; 0 = unlimited).
+ * Network flags: --listen PORT, --bind ADDR, --max-conns N.
  *
- * The stats response includes the checkpoint pool's hit/miss/fork/
- * eviction counts, resident bytes and memo hit/miss counters.
+ * Stats responses include the admission/cache/checkpoint/result-cache/
+ * rate-limiter block (ServiceStats::toJson) and, in TCP mode, the
+ * server's connection counters under "net".
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "src/obs/json_check.hh"
+#include "src/net/tcp_server.hh"
+#include "src/serve/protocol.hh"
 #include "src/serve/service.hh"
 
 using namespace gmoms;
@@ -45,190 +42,6 @@ using namespace gmoms::serve;
 
 namespace
 {
-
-/** Serialize a reason list as a JSON array of strings. */
-std::string
-jsonStringArray(const std::vector<std::string>& items)
-{
-    std::ostringstream os;
-    os << "[";
-    for (std::size_t i = 0; i < items.size(); ++i) {
-        if (i)
-            os << ",";
-        JsonReport::writeEscaped(os, items[i]);
-    }
-    os << "]";
-    return os.str();
-}
-
-std::optional<Preprocessing>
-prepByName(const std::string& name)
-{
-    if (name == "none")
-        return Preprocessing::None;
-    if (name == "hash")
-        return Preprocessing::Hash;
-    if (name == "dbg")
-        return Preprocessing::Dbg;
-    if (name == "dbg+hash")
-        return Preprocessing::DbgHash;
-    return std::nullopt;
-}
-
-/** A JobRecord as the flat JSON block of poll responses. */
-JsonReport
-recordReport(const JobRecord& rec)
-{
-    JsonReport r;
-    r.set("id", static_cast<std::uint64_t>(rec.id))
-        .set("tenant", rec.tenant)
-        .set("dataset", rec.dataset)
-        .set("algo", rec.algo)
-        .set("priority", static_cast<std::uint64_t>(rec.priority))
-        .set("state", std::string(jobStateName(rec.state)))
-        .set("terminal", rec.terminal())
-        .set("attempts", static_cast<std::uint64_t>(rec.attempts))
-        .set("used_fallback", rec.used_fallback)
-        .set("error", rec.error)
-        .set("replay", rec.replay)
-        .set("queue_seconds", rec.queue_seconds)
-        .set("prep_seconds", rec.prep_seconds)
-        .set("sim_seconds", rec.sim_seconds)
-        .set("total_seconds", rec.total_seconds)
-        .set("cycles", static_cast<std::uint64_t>(rec.cycles))
-        .set("iterations", static_cast<std::uint64_t>(rec.iterations))
-        .set("edges_processed",
-             static_cast<std::uint64_t>(rec.edges_processed))
-        .set("dram_bytes_read", rec.dram_bytes_read)
-        .set("dram_bytes_written", rec.dram_bytes_written)
-        .set("moms_hit_rate", rec.moms_hit_rate)
-        .set("gteps", rec.gteps)
-        .set("values_checksum", rec.values_checksum);
-    return r;
-}
-
-void
-respond(const JsonReport& r)
-{
-    std::cout << r.str() << "\n" << std::flush;
-}
-
-void
-respondError(const std::string& op, const std::string& error)
-{
-    JsonReport r;
-    r.set("op", op).set("ok", false).set("error", error);
-    respond(r);
-}
-
-/** Numeric field helper: @p out unchanged when the key is absent. */
-template <typename T>
-bool
-readNumber(const JsonValue& req, const std::string& key, T& out,
-           std::string& error)
-{
-    const JsonValue* v = req.find(key);
-    if (!v)
-        return true;
-    if (!v->isNumber() || v->number < 0) {
-        error = "field \"" + key + "\" must be a non-negative number";
-        return false;
-    }
-    out = static_cast<T>(v->number);
-    return true;
-}
-
-bool
-readString(const JsonValue& req, const std::string& key,
-           std::string& out, std::string& error)
-{
-    const JsonValue* v = req.find(key);
-    if (!v)
-        return true;
-    if (!v->isString()) {
-        error = "field \"" + key + "\" must be a string";
-        return false;
-    }
-    out = v->string;
-    return true;
-}
-
-bool
-readBool(const JsonValue& req, const std::string& key, bool& out,
-         std::string& error)
-{
-    const JsonValue* v = req.find(key);
-    if (!v)
-        return true;
-    if (v->kind != JsonValue::Kind::Bool) {
-        error = "field \"" + key + "\" must be a boolean";
-        return false;
-    }
-    out = v->boolean;
-    return true;
-}
-
-void
-handleSubmit(GraphService& service, const JsonValue& req)
-{
-    JobSpec spec;
-    std::string prep = "dbg+hash";
-    std::string error;
-    bool ok = readString(req, "tenant", spec.tenant, error) &&
-              readString(req, "dataset", spec.dataset, error) &&
-              readString(req, "algo", spec.algo, error) &&
-              readString(req, "preset", spec.preset, error) &&
-              readString(req, "prep", prep, error) &&
-              readNumber(req, "iterations", spec.iterations, error) &&
-              readNumber(req, "source", spec.source, error) &&
-              readNumber(req, "priority", spec.priority, error) &&
-              readNumber(req, "cycle_budget", spec.cycle_budget,
-                         error) &&
-              readNumber(req, "max_retries", spec.max_retries, error) &&
-              readBool(req, "checks", spec.checks, error) &&
-              readBool(req, "telemetry", spec.telemetry, error);
-    if (!ok) {
-        respondError("submit", error);
-        return;
-    }
-    const std::optional<Preprocessing> p = prepByName(prep);
-    if (!p) {
-        respondError("submit", "unknown preprocessing \"" + prep +
-                                   "\" (none, hash, dbg, dbg+hash)");
-        return;
-    }
-    spec.prep = *p;
-
-    const GraphService::Submitted sub = service.submit(std::move(spec));
-    JsonReport r;
-    r.set("op", std::string("submit")).set("ok", sub.ok());
-    if (sub.ok())
-        r.set("id", static_cast<std::uint64_t>(sub.id));
-    else
-        r.set("rejected", JsonReport::Raw{jsonStringArray(sub.rejected)});
-    respond(r);
-}
-
-void
-handlePoll(GraphService& service, const JsonValue& req)
-{
-    const JsonValue* id = req.find("id");
-    if (!id || !id->isNumber() || id->number < 1) {
-        respondError("poll", "poll requires a positive numeric \"id\"");
-        return;
-    }
-    const std::optional<JobRecord> rec =
-        service.poll(static_cast<JobId>(id->number));
-    if (!rec) {
-        respondError("poll", "unknown job id");
-        return;
-    }
-    JsonReport r;
-    r.set("op", std::string("poll"))
-        .set("ok", true)
-        .set("job", JsonReport::Raw{recordReport(*rec).str()});
-    respond(r);
-}
 
 int
 usage(const char* argv0)
@@ -238,10 +51,62 @@ usage(const char* argv0)
         "usage: %s [--workers N] [--paused] [--queue-depth N]\n"
         "          [--quota N] [--cache-mb N] [--no-fallback]\n"
         "          [--checkpoint-mb N] [--no-checkpoints]\n"
-        "JSON-lines serving front end; see the file header for the\n"
-        "request protocol.\n",
+        "          [--result-cache-mb N] [--no-result-cache]\n"
+        "          [--rate-hz R] [--rate-burst B]\n"
+        "          [--listen PORT] [--bind ADDR] [--max-conns N]\n"
+        "JSON-lines serving front end (stdin by default, epoll TCP\n"
+        "with --listen); see the file header for the protocol.\n",
         argv0);
     return 2;
+}
+
+int
+runStdin(GraphService& service)
+{
+    std::string line;
+    bool quit = false;
+    while (!quit && std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::cout << handleRequestLine(service, line, quit) << "\n"
+                  << std::flush;
+    }
+    // ~GraphService drains whatever is still in flight.
+    return 0;
+}
+
+int
+runTcp(GraphService& service, const net::TcpServerConfig& net_cfg)
+{
+    net::TcpServer server(net_cfg, [&](const std::string& line) {
+        net::HandlerResult out;
+        bool quit = false;
+        // Stats requests get the server's own counters appended; one
+        // snapshot per request keeps the handler allocation-light.
+        const JsonReport net_json = server.stats().toJson();
+        out.line = handleRequestLine(service, line, quit, &net_json);
+        out.shutdown_server = quit;
+        return out;
+    });
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "gmoms_serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::cout << "{\"listening\":" << server.port() << "}\n"
+              << std::flush;
+    server.waitUntilStopped();
+    const net::TcpServer::Stats net = server.stats();
+    if (net.active != 0) {
+        std::fprintf(stderr,
+                     "gmoms_serve: %llu connection(s) leaked at exit\n",
+                     static_cast<unsigned long long>(net.active));
+        return 1;
+    }
+    // Drain admitted work before tearing the service down so the exit
+    // code reflects a clean quiesce, not an abandoned queue.
+    service.drain();
+    return 0;
 }
 
 } // namespace
@@ -250,6 +115,8 @@ int
 main(int argc, char** argv)
 {
     ServiceConfig cfg;
+    net::TcpServerConfig net_cfg;
+    bool tcp = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
@@ -290,59 +157,46 @@ main(int argc, char** argv)
                 static_cast<std::uint64_t>(std::atoll(v)) << 20;
         } else if (arg == "--no-checkpoints") {
             cfg.enable_checkpoints = false;
+        } else if (arg == "--result-cache-mb") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.result_cache_budget_bytes =
+                static_cast<std::uint64_t>(std::atoll(v)) << 20;
+        } else if (arg == "--no-result-cache") {
+            cfg.enable_result_cache = false;
+        } else if (arg == "--rate-hz") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.rate_limit_hz = std::atof(v);
+        } else if (arg == "--rate-burst") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            cfg.rate_limit_burst = std::atof(v);
+        } else if (arg == "--listen") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            net_cfg.port = static_cast<std::uint16_t>(std::atoi(v));
+            tcp = true;
+        } else if (arg == "--bind") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            net_cfg.bind_address = v;
+        } else if (arg == "--max-conns") {
+            const char* v = next();
+            if (!v)
+                return usage(argv[0]);
+            net_cfg.max_connections =
+                static_cast<std::size_t>(std::atoll(v));
         } else {
             return usage(argv[0]);
         }
     }
 
     GraphService service(cfg);
-    std::string line;
-    while (std::getline(std::cin, line)) {
-        if (line.find_first_not_of(" \t\r") == std::string::npos)
-            continue;
-        std::string parse_error;
-        const std::optional<JsonValue> req =
-            parseJson(line, &parse_error);
-        if (!req || !req->isObject()) {
-            respondError("?", req ? "request must be a JSON object"
-                                  : "bad JSON: " + parse_error);
-            continue;
-        }
-        const JsonValue* op = req->find("op");
-        if (!op || !op->isString()) {
-            respondError("?", "request needs a string \"op\"");
-            continue;
-        }
-
-        if (op->string == "submit") {
-            handleSubmit(service, *req);
-        } else if (op->string == "poll") {
-            handlePoll(service, *req);
-        } else if (op->string == "stats") {
-            JsonReport r;
-            r.set("op", std::string("stats"))
-                .set("ok", true)
-                .set("stats",
-                     JsonReport::Raw{service.stats().report().str()});
-            respond(r);
-        } else if (op->string == "drain") {
-            const std::uint64_t drained = service.drain();
-            JsonReport r;
-            r.set("op", std::string("drain"))
-                .set("ok", true)
-                .set("drained", drained);
-            respond(r);
-        } else if (op->string == "quit") {
-            JsonReport r;
-            r.set("op", std::string("quit")).set("ok", true);
-            respond(r);
-            break;
-        } else {
-            respondError(op->string, "unknown op \"" + op->string +
-                                         "\" (submit, poll, stats, "
-                                         "drain, quit)");
-        }
-    }
-    // ~GraphService drains whatever is still in flight.
-    return 0;
+    return tcp ? runTcp(service, net_cfg) : runStdin(service);
 }
