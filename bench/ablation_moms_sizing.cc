@@ -35,8 +35,8 @@ runWith(const CooGraph& g, const Sizing& s)
         b->num_mshrs = s.mshrs;
         b->num_subentries = s.subentries;
     }
-    cfg.dram.port_queue_depth = s.dram_queue;
-    cfg.dram.resp_queue_depth = s.dram_queue;
+    cfg.mem.timing.port_queue_depth = s.dram_queue;
+    cfg.mem.timing.resp_queue_depth = s.dram_queue;
     return runOn(g, "SCC", cfg);
 }
 

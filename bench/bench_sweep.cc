@@ -84,7 +84,7 @@ makeJobs(bool smoke)
               : std::vector<std::string>{"PageRank", "SCC"};
     AccelConfig two_level;
     two_level.num_pes = 16;
-    two_level.num_channels = 4;
+    two_level.mem.channels = 4;
     two_level.moms = MomsConfig::twoLevel(16);
     AccelConfig shallow = two_level;
     shallow.num_pes = 20;

@@ -20,6 +20,12 @@ main()
         {"platform", "system", "ext. mem bandwidth", "power"});
     table.addRow({"This work, FabGraph", "FPGA (AWS f1, VU9P)",
                   "64 GB/s (4x DDR4)", "23 W"});
+    // The simulated HBM substrate (mem/hbm_channel, fig_hbm): a
+    // U280-class half stack at the same accelerator clock. Not a paper
+    // row — it contextualizes the frontier bench against the GPU's HBM2
+    // below.
+    table.addRow({"This work (simulated)", "FPGA (U280-class, HBM2)",
+                  "128 GB/s (16pc HBM2)", "n/a (simulated)"});
     table.addRow({"Gunrock", "GPU (Tesla V100, 16 GB HBM2)", "900 GB/s",
                   "300 W*"});
     table.addRow({"Ligra, GraphMat",

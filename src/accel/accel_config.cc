@@ -52,8 +52,58 @@ AccelConfig::validateProblems() const
 
     if (num_pes == 0)
         problems.push_back("num_pes must be > 0");
-    if (num_channels == 0)
-        problems.push_back("num_channels must be > 0");
+
+    switch (mem.kind) {
+      case MemKind::Ddr4:
+        if (mem.channels == 0 || mem.channels > 8)
+            problems.push_back(
+                "mem.channels must be in [1, 8] for DDR4 (the f1 shell "
+                "exposes at most 4; 8 covers dual-card what-ifs); got " +
+                std::to_string(mem.channels));
+        break;
+      case MemKind::Hbm2:
+        if (mem.channels < 2 || mem.channels > 32)
+            problems.push_back(
+                "mem.channels must be in [2, 32] for HBM2 (pseudo-"
+                "channels come in pairs; one 8-high stack exposes 32); "
+                "got " + std::to_string(mem.channels));
+        break;
+      default:
+        problems.push_back("mem.kind must be Ddr4 or Hbm2");
+        break;
+    }
+    if (mem.interleave_bytes < kLineBytes ||
+        mem.interleave_bytes > kInterleaveBytes ||
+        !isPow2(mem.interleave_bytes))
+        problems.push_back(
+            "mem.interleave_bytes must be a power of two in [" +
+            std::to_string(kLineBytes) + ", " +
+            std::to_string(kInterleaveBytes) +
+            "] (at least one cache line, at most the DRAM-image "
+            "section alignment); got " +
+            std::to_string(mem.interleave_bytes));
+    if (mem.timing.row_bytes == 0 || !isPow2(mem.timing.row_bytes))
+        problems.push_back(
+            "mem.timing.row_bytes must be a nonzero power of two (the "
+            "open-row tracker masks addresses); got " +
+            std::to_string(mem.timing.row_bytes));
+    if (mem.timing.bus_bytes_per_cycle == 0)
+        problems.push_back("mem.timing.bus_bytes_per_cycle must be > 0");
+    if (mem.timing.num_banks == 0)
+        problems.push_back("mem.timing.num_banks must be > 0");
+    if (mem.timing.port_queue_depth == 0 ||
+        mem.timing.resp_queue_depth == 0)
+        problems.push_back("mem.timing port/response queue depths must "
+                           "be > 0");
+    if (moms.dynaburst &&
+        static_cast<std::uint64_t>(moms.dynaburst_cfg.window_lines) *
+                kLineBytes > mem.interleave_bytes)
+        problems.push_back(
+            "moms.dynaburst_cfg.window_lines (" +
+            std::to_string(moms.dynaburst_cfg.window_lines) +
+            " lines) must fit in one interleave unit (" +
+            std::to_string(mem.interleave_bytes) +
+            " B): assembled bursts may not straddle channels");
 
     if (nd == 0) {
         problems.push_back("nd (destination interval) must be > 0");
@@ -82,6 +132,10 @@ AccelConfig::validateProblems() const
                            "be > 0 (PEs stream edges in bursts)");
     if (init_burst_lines == 0)
         problems.push_back("init_burst_lines must be > 0");
+    if (init_outstanding_bursts == 0)
+        problems.push_back("init_outstanding_bursts must be > 0 (no "
+                           "outstanding init bursts means no node "
+                           "data ever arrives)");
     if (nodes_per_cycle == 0)
         problems.push_back("nodes_per_cycle must be > 0");
     if (max_cycles == 0)
@@ -90,15 +144,15 @@ AccelConfig::validateProblems() const
     const bool has_shared =
         moms.topology != MomsConfig::Topology::Private;
     if (has_shared) {
-        if (num_channels > 0 &&
+        if (mem.channels > 0 &&
             (moms.num_shared_banks == 0 ||
-             moms.num_shared_banks % num_channels != 0))
+             moms.num_shared_banks % mem.channels != 0))
             problems.push_back(
                 "shared bank count must be a nonzero multiple of the "
                 "channel count (static bank-to-channel binding, "
                 "Section IV-B); got " +
                 std::to_string(moms.num_shared_banks) + " banks on " +
-                std::to_string(num_channels) + " channels");
+                std::to_string(mem.channels) + " channels");
         if (moms.crossbar_queue_depth == 0)
             problems.push_back("moms.crossbar_queue_depth must be > 0");
         if (moms.crossing_latency == 0)
@@ -176,7 +230,7 @@ AccelConfig::preset(MomsConfig moms, std::uint32_t pes,
 {
     AccelConfig cfg;
     cfg.num_pes = pes;
-    cfg.num_channels = channels;
+    cfg.mem = MemSubstrateConfig::ddr4(channels);
     cfg.moms = std::move(moms);
     return cfg;
 }
@@ -203,6 +257,25 @@ AccelConfig
 AccelConfig::traditionalNbc()
 {
     return preset(MomsConfig::traditionalTwoLevel(16), 16);
+}
+
+AccelConfig
+AccelConfig::hbmTwoLevel(std::uint32_t pseudo_channels,
+                         std::uint32_t pes,
+                         std::uint64_t private_cache_bytes)
+{
+    // One shared bank per pseudo-channel keeps the static binding
+    // (banks % channels == 0) at its finest legal grain, so every
+    // narrow bus has a dedicated miss handler in front of it.
+    AccelConfig cfg = preset(
+        MomsConfig::twoLevel(pseudo_channels, private_cache_bytes),
+        pes);
+    cfg.mem = MemSubstrateConfig::hbm2(pseudo_channels);
+    // The 256 B interleave caps every node-array burst at a quarter
+    // line-count of the DDR4 unit; pipeline init bursts so the fine
+    // stripe costs bandwidth, not round-trip latency.
+    cfg.init_outstanding_bursts = 8;
+    return cfg;
 }
 
 } // namespace gmoms

@@ -15,7 +15,7 @@
 #include "src/cache/moms_system.hh"
 #include "src/check/check_config.hh"
 #include "src/cluster/cluster_config.hh"
-#include "src/mem/dram_config.hh"
+#include "src/mem/mem_substrate.hh"
 #include "src/obs/telemetry.hh"
 
 namespace gmoms
@@ -24,9 +24,23 @@ namespace gmoms
 struct AccelConfig
 {
     std::uint32_t num_pes = 16;
-    std::uint32_t num_channels = 4;
     MomsConfig moms = MomsConfig::twoLevel(16);
-    DramConfig dram;
+
+    /** External-memory substrate: DDR4 channels (the paper's f1 shell,
+     *  default) or HBM2 pseudo-channels, with channel count, address
+     *  interleave and per-channel timing. */
+    MemSubstrateConfig mem;
+
+    /** Encode edge shards in the packed half-word CSR (degree-aware
+     *  vertex packing: shard edges sorted by destination so one 16-bit
+     *  destination selector amortizes over a high-degree vertex's
+     *  in-edges, and sources shrink to 16-bit half-words). Roughly
+     *  halves edge-stream traffic; results are bit-identical because
+     *  every gather is commutative. Ineligible partitions (offsets or
+     *  weights that overflow a half-word) fall back to the plain
+     *  32-bit encoding automatically. Set by Session from the
+     *  Preprocessing::*Packed variants. */
+    bool packed_edges = false;
 
     /**
      * Destination/source interval sizes. The paper holds 32,768
@@ -49,6 +63,13 @@ struct AccelConfig
 
     /** Node-array DMA burst size in lines (32-beat 512-bit bursts). */
     std::uint32_t init_burst_lines = 32;
+
+    /** Node-array bursts a PE keeps in flight during init. One is
+     *  enough when the interleave unit lets a burst carry
+     *  init_burst_lines full lines (DDR4's 2 KiB units); HBM's 256 B
+     *  units cap every burst so small that a single outstanding burst
+     *  becomes round-trip-latency-bound — hbmTwoLevel() raises this. */
+    std::uint32_t init_outstanding_bursts = 1;
 
     /** Nodes consumed/produced per cycle during init/writeback. */
     std::uint32_t nodes_per_cycle = 4;
@@ -90,12 +111,13 @@ struct AccelConfig
      *  clusters"). */
     ClusterConfig cluster;
 
-    /** Paper-style label, e.g. "16/16 moms 0k @4ch". */
+    /** Paper-style label, e.g. "16/16 moms 0k @4ch" (DDR4) or
+     *  "16/16 moms 0k @16pc-hbm" (HBM2). */
     std::string
     label() const
     {
-        return moms.label(num_pes) + " @" +
-               std::to_string(num_channels) + "ch";
+        return moms.label(num_pes) + " @" + mem.label() +
+               (packed_edges ? " packed" : "");
     }
 
     /**
@@ -133,6 +155,19 @@ struct AccelConfig
     /** Traditional non-blocking-cache baseline in the two-level shape
      *  (16 assoc MSHRs, 8 subentries/MSHR). */
     static AccelConfig traditionalNbc();
+
+    /**
+     * HBM2 substrate with the two-level vertex-cache organization the
+     * narrow-pseudo-channel regime rewards: one shared (L2) MOMS bank
+     * per pseudo-channel — preserving the static bank-to-channel
+     * binding — and @p private_cache_bytes of per-PE (L1) vertex cache
+     * soaking up reuse before requests reach the narrow buses. Pass
+     * private_cache_bytes = 0 for the L2-only organization.
+     */
+    static AccelConfig hbmTwoLevel(std::uint32_t pseudo_channels = 16,
+                                   std::uint32_t pes = 16,
+                                   std::uint64_t private_cache_bytes =
+                                       2048);
 };
 
 /**

@@ -25,13 +25,14 @@ Accelerator::Accelerator(const AccelConfig& cfg,
     const std::uint32_t dma_ports = cfg_.num_pes;
     const std::uint32_t moms_ports =
         cfg_.moms.memPortsNeeded(cfg_.num_pes);
-    mem_ = std::make_unique<MemorySystem>(
-        engine_, cfg_.dram, cfg_.num_channels, dma_ports + moms_ports);
+    mem_ = std::make_unique<MemorySystem>(engine_, cfg_.mem,
+                                          dma_ports + moms_ports);
 
     // Build the DRAM image (Fig. 4).
     GraphLayout::Options opts;
     opts.has_const = spec_.has_const;
     opts.synchronous = spec_.synchronous;
+    opts.packed = cfg_.packed_edges;
     opts.init_value = [this](NodeId n) { return spec_.initialValue(n); };
     if (spec_.has_const)
         opts.const_value = [this](NodeId n) {
@@ -59,7 +60,7 @@ Accelerator::Accelerator(const AccelConfig& cfg,
         moms_->registerTelemetry(*tele_);
         for (auto& pe : pes_)
             pe->registerTelemetry(*tele_);
-        for (std::uint32_t c = 0; c < cfg_.num_channels; ++c)
+        for (std::uint32_t c = 0; c < cfg_.mem.channels; ++c)
             mem_->channel(c).registerTelemetry(*tele_);
     }
 
@@ -153,6 +154,8 @@ Accelerator::run()
     }
 
     result.cycles = engine_.now();
+    result.packed_layout = layout_->packed();
+    result.edge_section_bytes = layout_->edgeSectionBytes();
     result.dram_bytes_read = mem_->totalBytesRead();
     result.dram_bytes_written = mem_->totalBytesWritten();
     result.moms_hit_rate = moms_->hitRate();

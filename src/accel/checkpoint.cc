@@ -57,13 +57,17 @@ configFingerprint(const AccelConfig& cfg)
     Fnv f;
     f.mix(cfg.max_cycles);
     f.mix(cfg.num_pes);
-    f.mix(cfg.num_channels);
+    f.mix(static_cast<std::uint64_t>(cfg.mem.kind));
+    f.mix(cfg.mem.channels);
+    f.mix(cfg.mem.interleave_bytes);
+    f.mix(cfg.packed_edges ? 1 : 0);
     f.mix(cfg.nd);
     f.mix(cfg.ns);
     f.mix(cfg.max_threads);
     f.mix(cfg.edge_burst_lines);
     f.mix(cfg.max_edge_bursts);
     f.mix(cfg.init_burst_lines);
+    f.mix(cfg.init_outstanding_bursts);
     f.mix(cfg.nodes_per_cycle);
     // MOMS hierarchy
     f.mix(static_cast<std::uint64_t>(cfg.moms.topology));
@@ -76,16 +80,17 @@ configFingerprint(const AccelConfig& cfg)
     f.mix(cfg.moms.dynaburst_cfg.window_lines);
     f.mix(cfg.moms.dynaburst_cfg.wait_cycles);
     f.mix(cfg.moms.dynaburst_cfg.max_open_windows);
-    // DRAM
-    f.mix(cfg.dram.bus_bytes_per_cycle);
-    f.mix(cfg.dram.request_overhead_cycles);
-    f.mix(cfg.dram.row_miss_extra_cycles);
-    f.mix(cfg.dram.load_latency_cycles);
-    f.mix(cfg.dram.num_banks);
-    f.mix(cfg.dram.row_bytes);
-    f.mix(cfg.dram.port_queue_depth);
-    f.mix(cfg.dram.resp_queue_depth);
-    f.mix(cfg.dram.capacity_bytes);
+    // Memory substrate timing
+    f.mix(cfg.mem.timing.bus_bytes_per_cycle);
+    f.mix(cfg.mem.timing.request_overhead_cycles);
+    f.mix(cfg.mem.timing.row_miss_extra_cycles);
+    f.mix(cfg.mem.timing.load_latency_cycles);
+    f.mix(cfg.mem.timing.num_banks);
+    f.mix(cfg.mem.timing.row_bytes);
+    f.mix(cfg.mem.timing.same_bank_gap_cycles);
+    f.mix(cfg.mem.timing.port_queue_depth);
+    f.mix(cfg.mem.timing.resp_queue_depth);
+    f.mix(cfg.mem.timing.capacity_bytes);
     // Observability toggles change run *records* (telemetry summary,
     // check signatures), so they separate pool entries; engine knobs
     // (tick_threads, full_tick_engine) are bit-exact by contract and

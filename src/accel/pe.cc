@@ -28,6 +28,7 @@ Pe::Pe(const Engine& engine, std::string name, std::uint32_t id,
     // Wake on DMA/MOMS responses and on backpressure release.
     dma_.bindClient(this);
     moms_->bindClient(this);
+    il_ = dma_.interleaveBytes();
 }
 
 Cycle
@@ -63,11 +64,11 @@ Pe::phaseActivity() const
             return 0;  // phase transition pending
         if (4 * (init_nodes_consumed_ + 1) <= init_bytes_received_)
             return 0;  // nodes to consume
-        if (!init_burst_outstanding_ &&
+        if (init_bursts_inflight_ < cfg_->init_outstanding_bursts &&
             init_bytes_requested_ < init_bytes_total_ &&
             dma_.canSend(init_region_base_ + init_bytes_requested_))
             return 0;
-        return kCycleNever;  // waiting on the outstanding burst
+        return kCycleNever;  // waiting on the outstanding bursts
       case Phase::Stream:
         // A parked response (RAW hazard) or a non-empty decode queue
         // counts stalls every cycle: stay active.
@@ -152,10 +153,28 @@ Pe::drainDmaResponses()
             ptr_bytes_received_ += resp->bytes;
             break;
           case DmaKind::InitConst:
-          case DmaKind::InitIn:
-            init_bytes_received_ += resp->bytes;
-            init_burst_outstanding_ = false;
+          case DmaKind::InitIn: {
+            --init_bursts_inflight_;
+            // Consumption is strictly sequential, so a completion that
+            // overtakes the in-order prefix (bursts on different
+            // channels finish out of order) parks until the gap fills.
+            init_ooo_.emplace_back(resp->addr, resp->bytes);
+            bool advanced = true;
+            while (advanced) {
+                advanced = false;
+                for (std::size_t i = 0; i < init_ooo_.size(); ++i) {
+                    if (init_ooo_[i].first !=
+                        init_region_base_ + init_bytes_received_)
+                        continue;
+                    init_bytes_received_ += init_ooo_[i].second;
+                    init_ooo_[i] = init_ooo_.back();
+                    init_ooo_.pop_back();
+                    advanced = true;
+                    break;
+                }
+            }
             break;
+          }
           case DmaKind::Edge: {
             const std::uint64_t seq = resp->tag & 0xffffffffffffffull;
             EdgeSegment* seg = edge_pending_.find(seq);
@@ -192,8 +211,7 @@ Pe::tickFetchPtrs()
     while (ptr_bytes_requested_ < total) {
         const Addr a = job_.ptr_base + ptr_bytes_requested_;
         const std::uint64_t chunk =
-            std::min(total - ptr_bytes_requested_,
-                     kInterleaveBytes - a % kInterleaveBytes);
+            std::min(total - ptr_bytes_requested_, il_ - a % il_);
         if (!dma_.send(MemReq{a, static_cast<std::uint32_t>(chunk),
                               dmaTag(DmaKind::Ptr, 0), false}))
             break;
@@ -222,29 +240,34 @@ Pe::tickFetchPtrs()
     init_bytes_requested_ = 0;
     init_bytes_received_ = 0;
     init_nodes_consumed_ = 0;
-    init_burst_outstanding_ = false;
+    init_bursts_inflight_ = 0;
+    init_ooo_.clear();
     phase_ = Phase::Init;
 }
 
 void
 Pe::tickInit()
 {
-    // Single outstanding init burst (in-order delivery, Section IV-D).
-    if (!init_burst_outstanding_ &&
-        init_bytes_requested_ < init_bytes_total_) {
+    // Keep up to init_outstanding_bursts node-array bursts in flight
+    // (in-order consumption, Section IV-D). One is enough on DDR4,
+    // where a burst carries up to init_burst_lines full lines; on
+    // HBM's 256 B interleave units the pipelining covers the
+    // round-trip latency that a lone small burst would expose.
+    while (init_bursts_inflight_ < cfg_->init_outstanding_bursts &&
+           init_bytes_requested_ < init_bytes_total_) {
         const Addr a = init_region_base_ + init_bytes_requested_;
         const std::uint64_t chunk = std::min(
             {static_cast<std::uint64_t>(cfg_->init_burst_lines) *
                  kLineBytes,
              init_bytes_total_ - init_bytes_requested_,
-             kInterleaveBytes - a % kInterleaveBytes});
+             il_ - a % il_});
         const DmaKind kind = init_const_stage_ ? DmaKind::InitConst
                                                : DmaKind::InitIn;
-        if (dma_.send(MemReq{a, static_cast<std::uint32_t>(chunk),
-                             dmaTag(kind, 0), false})) {
-            init_bytes_requested_ += chunk;
-            init_burst_outstanding_ = true;
-        }
+        if (!dma_.send(MemReq{a, static_cast<std::uint32_t>(chunk),
+                              dmaTag(kind, 0), false}))
+            break;
+        init_bytes_requested_ += chunk;
+        ++init_bursts_inflight_;
     }
 
     // Consume up to nodes_per_cycle received node values.
@@ -274,7 +297,8 @@ Pe::tickInit()
         init_bytes_requested_ = 0;
         init_bytes_received_ = 0;
         init_nodes_consumed_ = 0;
-        init_burst_outstanding_ = false;
+        init_bursts_inflight_ = 0;
+        init_ooo_.clear();
         return;
     }
     phase_ = Phase::Stream;
@@ -326,7 +350,7 @@ Pe::tickStream()
         const std::uint64_t chunk = std::min(
             {static_cast<std::uint64_t>(cfg_->edge_burst_lines) *
                  kLineBytes,
-             bytes_left, kInterleaveBytes - sc.addr % kInterleaveBytes});
+             bytes_left, il_ - sc.addr % il_});
         if (!dma_.send(MemReq{sc.addr,
                               static_cast<std::uint32_t>(chunk),
                               dmaTag(DmaKind::Edge, edge_burst_seq_),
@@ -381,24 +405,67 @@ Pe::tickStream()
     // 3. Decode and issue at most one edge.
     if (!decode_q_.empty()) {
         EdgeSegment& seg = decode_q_.front();
-        // Discard terminating/padding words instantly (the hardware
-        // drops the remainder of the last 512-bit word).
-        while (seg.cursor < seg.words &&
-               edgeword::isTerminating(
-                   store_->read32(seg.addr + 4ull * seg.cursor)))
-            ++seg.cursor;
-        if (seg.cursor >= seg.words) {
-            decode_q_.pop_front();
+        bool have_edge = false;
+        std::uint32_t dst_off = 0, src_off = 0, weight = 0, advance = 0;
+        if (job_.packed) {
+            // Packed half-word CSR: the cursor counts 16-bit
+            // half-words. Padding and selector half-words are consumed
+            // instantly (the hardware decodes a whole 512-bit line at
+            // once); only source half-words take the one-edge-per-
+            // cycle issue slot below.
+            const std::uint32_t halves = 2 * seg.words;
+            const auto half = [&](std::uint32_t h) {
+                const std::uint32_t w =
+                    store_->read32(seg.addr + 4ull * (h / 2));
+                return static_cast<std::uint16_t>(h % 2 ? w >> 16
+                                                        : w & 0xffffu);
+            };
+            while (seg.cursor < halves) {
+                const std::uint16_t hw = half(seg.cursor);
+                if (packedcsr::isPad(hw)) {
+                    ++seg.cursor;
+                } else if (packedcsr::isSelector(hw)) {
+                    seg.open_dst = packedcsr::dstOff(hw);
+                    seg.has_open_dst = true;
+                    ++seg.cursor;
+                } else {
+                    break;
+                }
+            }
+            if (seg.cursor >= halves) {
+                decode_q_.pop_front();
+            } else {
+                if (!seg.has_open_dst)
+                    panic("packed CSR line starts without a selector");
+                dst_off = seg.open_dst;
+                src_off = packedcsr::srcOff(half(seg.cursor));
+                weight = spec_->weighted ? half(seg.cursor + 1) : 0;
+                advance = spec_->weighted ? 2 : 1;
+                have_edge = true;
+            }
         } else {
-            const std::uint32_t word =
-                store_->read32(seg.addr + 4ull * seg.cursor);
-            const std::uint32_t dst_off = edgeword::dstOff(word);
-            const std::uint32_t src_off = edgeword::srcOff(word);
-            const std::uint32_t weight =
-                spec_->weighted
-                    ? store_->read32(seg.addr + 4ull * (seg.cursor + 1))
-                    : 0;
-            const std::uint32_t advance = spec_->weighted ? 2 : 1;
+            // Discard terminating/padding words instantly (the
+            // hardware drops the remainder of the last 512-bit word).
+            while (seg.cursor < seg.words &&
+                   edgeword::isTerminating(
+                       store_->read32(seg.addr + 4ull * seg.cursor)))
+                ++seg.cursor;
+            if (seg.cursor >= seg.words) {
+                decode_q_.pop_front();
+            } else {
+                const std::uint32_t word =
+                    store_->read32(seg.addr + 4ull * seg.cursor);
+                dst_off = edgeword::dstOff(word);
+                src_off = edgeword::srcOff(word);
+                weight = spec_->weighted
+                             ? store_->read32(seg.addr +
+                                              4ull * (seg.cursor + 1))
+                             : 0;
+                advance = spec_->weighted ? 2 : 1;
+                have_edge = true;
+            }
+        }
+        if (have_edge) {
             const NodeId src =
                 static_cast<NodeId>(seg.s) * cfg_->ns + src_off;
 
@@ -473,7 +540,7 @@ Pe::tickWriteback()
 
         const Addr next = wb_burst_addr_ + wb_bytes_staged_;
         const bool boundary =
-            next % kInterleaveBytes == 0 ||
+            next % il_ == 0 ||
             wb_bytes_staged_ >=
                 static_cast<std::uint64_t>(cfg_->init_burst_lines) *
                     kLineBytes ||

@@ -114,13 +114,18 @@ class Pe : public Component
         return static_cast<DmaKind>(tag >> 56);
     }
 
-    /** One burst of edges received from DRAM, pending decode. */
+    /** One burst of edges received from DRAM, pending decode. In the
+     *  packed half-word CSR, cursor counts 16-bit half-words instead
+     *  of words; segments are whole 64-byte lines (bursts split at
+     *  line multiples), so decode state never crosses segments. */
     struct EdgeSegment
     {
         Addr addr = 0;            //!< first byte
         std::uint32_t words = 0;  //!< 32-bit words in the segment
-        std::uint32_t cursor = 0; //!< next word to decode
+        std::uint32_t cursor = 0; //!< next word (packed: half-word)
         std::uint32_t s = 0;      //!< source interval of the shard
+        std::uint32_t open_dst = 0;  //!< packed: open destination
+        bool has_open_dst = false;   //!< packed: selector seen yet
     };
 
     /** Shard chunks remaining to be requested. */
@@ -157,6 +162,9 @@ class Pe : public Component
     SourcePort* moms_;
     BackingStore* store_;
     ShadowMemory* shadow_ = nullptr;
+    /** Burst-split granularity of the memory substrate (cached from
+     *  dma_; HBM interleaves finer than DDR4's 2 KiB). */
+    std::uint64_t il_ = kInterleaveBytes;
 
     // -- job state --------------------------------------------------------
     Phase phase_ = Phase::Idle;
@@ -169,15 +177,19 @@ class Pe : public Component
     std::uint64_t ptr_bytes_requested_ = 0;
     std::uint64_t ptr_bytes_received_ = 0;
 
-    // Node init streaming (one region at a time, single outstanding
-    // burst).
+    // Node init streaming (one region at a time, up to
+    // init_outstanding_bursts in flight). Bursts on different channels
+    // may complete out of order; init_ooo_ holds completions ahead of
+    // the in-order prefix (at most init_outstanding_bursts - 1
+    // entries) because consumption is strictly sequential.
     bool init_const_stage_ = false;
     Addr init_region_base_ = 0;
     std::uint64_t init_bytes_total_ = 0;
     std::uint64_t init_bytes_requested_ = 0;
     std::uint64_t init_bytes_received_ = 0;
     std::uint64_t init_nodes_consumed_ = 0;
-    bool init_burst_outstanding_ = false;
+    std::uint32_t init_bursts_inflight_ = 0;
+    std::vector<std::pair<Addr, std::uint32_t>> init_ooo_;
 
     // Edge streaming. edge_pending_ holds at most max_edge_bursts
     // entries (one per in-flight burst), so the flat map never grows

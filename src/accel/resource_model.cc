@@ -95,7 +95,7 @@ estimateResources(const AccelConfig& cfg, const AlgoSpec& spec,
     // the MOMS request/response crossbars (client x bank) and per-die
     // arbiters. This is where the LUTs go (Fig. 17).
     const double k = cfg.num_pes;
-    const double c = cfg.num_channels;
+    const double c = cfg.mem.channels;
     const double banks = has_shared ? cfg.moms.num_shared_banks : 0;
     r.interconnect.luts = 1'700 * k * c          // burst crossbars
                           + 320 * k * banks      // MOMS crossbars
@@ -121,7 +121,7 @@ estimateResources(const AccelConfig& cfg, const AlgoSpec& spec,
     // Handshake bundles that cross SLR boundaries: each PE's MOMS and
     // burst paths, each shared bank's DRAM path, channel spines.
     r.slr_crossings = static_cast<std::uint32_t>(
-        k + banks + 8 * (cfg.num_channels - 1));
+        k + banks + 8 * (cfg.mem.channels - 1));
     return r;
 }
 

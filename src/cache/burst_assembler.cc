@@ -18,9 +18,11 @@ BurstAssembler::BurstAssembler(const Engine& engine, std::string name,
         fatal("BurstAssembler window must be a power of two <= 32 "
               "lines");
     if (static_cast<std::uint64_t>(cfg.window_lines) * kLineBytes >
-        kInterleaveBytes)
+        port_.interleaveBytes())
         fatal("BurstAssembler window must not exceed the channel "
-              "interleave unit");
+              "interleave unit (" +
+              std::to_string(port_.interleaveBytes()) +
+              " B for this substrate)");
     port_.bindClient(this);  // wake on burst responses / port space
 }
 

@@ -24,8 +24,8 @@ Board::Board(Engine& engine, const AccelConfig& cfg, const AlgoSpec& spec,
     const std::uint32_t moms_ports =
         cfg_.moms.memPortsNeeded(cfg_.num_pes);
     mem_ = std::make_unique<MemorySystem>(
-        engine, cfg_.dram, cfg_.num_channels, dma_ports + moms_ports,
-        prefix, tick_group::boardDram(b));
+        engine, cfg_.mem, dma_ports + moms_ports, prefix,
+        tick_group::boardDram(b));
 
     // The DRAM image holds board-LOCAL node ids; the id-dependent spec
     // callbacks (BFS/SSSP source, PageRank out-degrees) are answered in
@@ -33,6 +33,7 @@ Board::Board(Engine& engine, const AccelConfig& cfg, const AlgoSpec& spec,
     GraphLayout::Options opts;
     opts.has_const = spec_.has_const;
     opts.synchronous = spec_.synchronous;
+    opts.packed = cfg_.packed_edges;
     opts.init_value = [this](NodeId local) {
         const NodeId g = shard_->to_global[local];
         return g == kNoGlobalId ? 0u : spec_.initialValue(g);
@@ -65,7 +66,7 @@ Board::Board(Engine& engine, const AccelConfig& cfg, const AlgoSpec& spec,
         moms_->registerTelemetry(*tele_);
         for (auto& pe : pes_)
             pe->registerTelemetry(*tele_);
-        for (std::uint32_t c = 0; c < cfg_.num_channels; ++c)
+        for (std::uint32_t c = 0; c < cfg_.mem.channels; ++c)
             mem_->channel(c).registerTelemetry(*tele_);
         tele_->addStall("link", StallCause::BoardLink,
                         &link_wait_cycles_);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/mem/dram_config.hh"
+#include "src/mem/mem_channel.hh"
 #include "src/mem/mem_types.hh"
 #include "src/obs/telemetry.hh"
 #include "src/sim/engine.hh"
@@ -28,39 +29,25 @@
 namespace gmoms
 {
 
-class DramChannel : public Component
+class DramChannel : public MemChannel
 {
   public:
-    struct Stats
-    {
-        std::uint64_t reads = 0;
-        std::uint64_t writes = 0;
-        std::uint64_t bytes_read = 0;
-        std::uint64_t bytes_written = 0;
-        std::uint64_t row_hits = 0;
-        std::uint64_t row_misses = 0;
-        std::uint64_t busy_cycles = 0;  //!< cycles the data bus was occupied
-        /** Bus cycles lost to row activations (the stall-attribution
-         *  view of row_misses: cycles, not transaction counts). */
-        std::uint64_t row_miss_penalty_cycles = 0;
-    };
+    using Stats = MemChannelStats;
 
     DramChannel(const Engine& engine, std::string name,
                 const DramConfig& cfg, std::uint32_t num_ports);
 
-    /** Request queue for requester port @p port. */
-    TimedQueue<MemReq>& reqPort(std::uint32_t port)
+    TimedQueue<MemReq>& reqPort(std::uint32_t port) override
     {
         return *req_ports_[port];
     }
 
-    /** Response queue for requester port @p port. */
-    TimedQueue<MemResp>& respPort(std::uint32_t port)
+    TimedQueue<MemResp>& respPort(std::uint32_t port) override
     {
         return *resp_ports_[port];
     }
 
-    std::uint32_t numPorts() const
+    std::uint32_t numPorts() const override
     {
         return static_cast<std::uint32_t>(req_ports_.size());
     }
@@ -76,17 +63,17 @@ class DramChannel : public Component
      */
     Cycle nextActivity() const override;
 
-    const Stats& stats() const { return stats_; }
+    const Stats& stats() const override { return stats_; }
     const DramConfig& config() const { return cfg_; }
 
     /** True when no request is queued or in flight. */
-    bool idle() const;
+    bool idle() const override;
 
-    void registerStats(StatRegistry& reg) const;
+    void registerStats(StatRegistry& reg) const override;
 
     /** Attach stall channels, series and queue probes to @p tele
      *  (stall group "dram"). */
-    void registerTelemetry(Telemetry& tele);
+    void registerTelemetry(Telemetry& tele) override;
 
   private:
     struct InFlight

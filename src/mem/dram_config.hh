@@ -44,6 +44,12 @@ struct DramConfig
     /** Row-buffer size per bank, bytes (power of two). */
     std::uint32_t row_bytes = 4096;
 
+    /** Extra bus gap when consecutive transactions hit the same bank
+     *  (HBM2 pseudo-channels: tCCD_L-class turnaround on the shared
+     *  bank group). 0 on DDR4, where the wide bus hides it. Only the
+     *  HbmChannel model charges this. */
+    std::uint32_t same_bank_gap_cycles = 0;
+
     /** Request queue depth per input port. Deep queues matter: the
      *  MOMS deliberately lets misses pile up in front of the DRAM so
      *  that in-flight cache lines accumulate secondary misses

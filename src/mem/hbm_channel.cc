@@ -1,4 +1,4 @@
-#include "src/mem/dram_channel.hh"
+#include "src/mem/hbm_channel.hh"
 
 #include <algorithm>
 #include <limits>
@@ -8,13 +8,13 @@
 namespace gmoms
 {
 
-DramChannel::DramChannel(const Engine& engine, std::string name,
-                         const DramConfig& cfg, std::uint32_t num_ports)
+HbmChannel::HbmChannel(const Engine& engine, std::string name,
+                       const DramConfig& cfg, std::uint32_t num_ports)
     : MemChannel(std::move(name)), engine_(engine), cfg_(cfg),
       open_row_(cfg.num_banks, std::numeric_limits<std::uint64_t>::max())
 {
     if (num_ports == 0)
-        fatal("DramChannel needs at least one port");
+        fatal("HbmChannel needs at least one port");
     req_ports_.reserve(num_ports);
     resp_ports_.reserve(num_ports);
     for (std::uint32_t p = 0; p < num_ports; ++p) {
@@ -30,13 +30,18 @@ DramChannel::DramChannel(const Engine& engine, std::string name,
 }
 
 Cycle
-DramChannel::serviceCycles(const MemReq& req)
+HbmChannel::serviceCycles(const MemReq& req)
 {
     Cycle occupancy = ceilDiv(req.bytes, cfg_.bus_bytes_per_cycle) +
                       cfg_.request_overhead_cycles;
     const std::uint64_t row = req.addr / cfg_.row_bytes;
     const std::uint32_t bank =
         static_cast<std::uint32_t>(row % cfg_.num_banks);
+    if (bank == last_bank_ && cfg_.same_bank_gap_cycles > 0) {
+        occupancy += cfg_.same_bank_gap_cycles;
+        bank_gap_cycles_ += cfg_.same_bank_gap_cycles;
+    }
+    last_bank_ = bank;
     if (open_row_[bank] == row) {
         ++stats_.row_hits;
     } else {
@@ -49,7 +54,7 @@ DramChannel::serviceCycles(const MemReq& req)
 }
 
 void
-DramChannel::tick()
+HbmChannel::tick()
 {
     const Cycle now = engine_.now();
 
@@ -93,7 +98,7 @@ DramChannel::tick()
 }
 
 Cycle
-DramChannel::nextActivity() const
+HbmChannel::nextActivity() const
 {
     const Cycle now = engine_.now();
     Cycle next = kCycleNever;
@@ -118,7 +123,7 @@ DramChannel::nextActivity() const
 }
 
 bool
-DramChannel::idle() const
+HbmChannel::idle() const
 {
     if (!in_flight_.empty())
         return false;
@@ -132,7 +137,7 @@ DramChannel::idle() const
 }
 
 void
-DramChannel::registerStats(StatRegistry& reg) const
+HbmChannel::registerStats(StatRegistry& reg) const
 {
     stat_eraser_ = reg.scopedPrefix(name() + ".");
     reg.addCounter(name() + ".reads", &stats_.reads);
@@ -144,22 +149,25 @@ DramChannel::registerStats(StatRegistry& reg) const
     reg.addCounter(name() + ".busy_cycles", &stats_.busy_cycles);
     reg.addCounter(name() + ".row_miss_penalty_cycles",
                    &stats_.row_miss_penalty_cycles);
+    reg.addCounter(name() + ".bank_gap_cycles", &bank_gap_cycles_);
 }
 
 void
-DramChannel::registerTelemetry(Telemetry& tele)
+HbmChannel::registerTelemetry(Telemetry& tele)
 {
-    // No per-tick backpressure counting here: the delivery-retry loop
-    // runs at different tick frequencies under the two engine modes,
-    // so a per-tick counter would not be engine-mode exact. Row-miss
-    // penalty cycles are charged per transaction and are exact.
-    tele.addStall("dram", StallCause::RowMiss,
+    // One stall group per pseudo-channel (the component name, e.g.
+    // "hbm.pc3"): with 16-32 narrow channels, WHICH pseudo-channel is
+    // hot is the diagnosis, so the attribution stays per-channel where
+    // DDR4 aggregates under "dram". Charges are per-transaction (no
+    // per-tick retry counting), so they are engine-mode exact.
+    tele.addStall(name(), StallCause::RowMiss,
                   &stats_.row_miss_penalty_cycles);
-    tele.addCounter("dram.bytes_read", &stats_.bytes_read);
-    tele.addCounter("dram.bytes_written", &stats_.bytes_written);
-    tele.addCounter("dram.busy_cycles", &stats_.busy_cycles);
-    tele.addCounter("dram.row_misses", &stats_.row_misses);
-    tele.addLevel("dram.in_flight", [this] {
+    tele.addStall(name(), StallCause::BankConflict, &bank_gap_cycles_);
+    tele.addCounter(name() + ".bytes_read", &stats_.bytes_read);
+    tele.addCounter(name() + ".bytes_written", &stats_.bytes_written);
+    tele.addCounter(name() + ".busy_cycles", &stats_.busy_cycles);
+    tele.addCounter(name() + ".row_misses", &stats_.row_misses);
+    tele.addLevel(name() + ".in_flight", [this] {
         return static_cast<double>(in_flight_.size());
     });
     in_flight_.attachProbe(

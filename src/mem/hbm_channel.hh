@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Timed model of one HBM2 pseudo-channel.
+ *
+ * Same contract as DramChannel (per-port queue pairs, serialized bus,
+ * constant loaded latency, in-order completions) with the pseudo-channel
+ * timing character:
+ *
+ *  - a narrow bus (32 B/cycle-class) with a full per-transaction
+ *    command overhead, so a lone cache-line read wastes proportionally
+ *    more bus slots than on DDR4;
+ *  - small rows over few banks (the 2 KiB HBM page is split across the
+ *    pseudo-channel pair), so irregular traffic misses rows more often;
+ *  - an extra turnaround gap when consecutive transactions hit the
+ *    same bank (tCCD_L on the shared bank group).
+ *
+ * Telemetry is registered per pseudo-channel under the channel's own
+ * name ("hbm.pc3"), giving the stall taxonomy per-pseudo-channel
+ * attribution; DDR4 keeps its aggregate "dram" group.
+ */
+
+#ifndef GMOMS_MEM_HBM_CHANNEL_HH
+#define GMOMS_MEM_HBM_CHANNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mem/dram_config.hh"
+#include "src/mem/mem_channel.hh"
+#include "src/sim/ring_deque.hh"
+
+namespace gmoms
+{
+
+class HbmChannel : public MemChannel
+{
+  public:
+    HbmChannel(const Engine& engine, std::string name,
+               const DramConfig& cfg, std::uint32_t num_ports);
+
+    TimedQueue<MemReq>& reqPort(std::uint32_t port) override
+    {
+        return *req_ports_[port];
+    }
+
+    TimedQueue<MemResp>& respPort(std::uint32_t port) override
+    {
+        return *resp_ports_[port];
+    }
+
+    std::uint32_t numPorts() const override
+    {
+        return static_cast<std::uint32_t>(req_ports_.size());
+    }
+
+    void tick() override;
+
+    /** Quiescence mirror of DramChannel::nextActivity: sleep until the
+     *  earliest in-flight completion or the bus freeing with a request
+     *  pending; queue wake hooks cover arrivals and backpressure. */
+    Cycle nextActivity() const override;
+
+    const MemChannelStats& stats() const override { return stats_; }
+    const DramConfig& config() const { return cfg_; }
+
+    bool idle() const override;
+
+    void registerStats(StatRegistry& reg) const override;
+
+    /** Stall group == component name: one group per pseudo-channel. */
+    void registerTelemetry(Telemetry& tele) override;
+
+  private:
+    struct InFlight
+    {
+        MemResp resp;
+        std::uint32_t port;
+        Cycle complete_at;
+    };
+
+    /** Bus occupancy of @p req, including row-buffer and bank-group
+     *  turnaround effects. */
+    Cycle serviceCycles(const MemReq& req);
+
+    const Engine& engine_;
+    DramConfig cfg_;
+    std::vector<std::unique_ptr<TimedQueue<MemReq>>> req_ports_;
+    std::vector<std::unique_ptr<TimedQueue<MemResp>>> resp_ports_;
+    std::vector<std::uint64_t> open_row_;  //!< open row per bank
+    RingDeque<InFlight> in_flight_;        //!< completions in order
+    Cycle bus_free_at_ = 0;
+    std::uint32_t next_port_ = 0;          //!< round-robin pointer
+    std::uint32_t last_bank_ = ~0u;        //!< bank of the previous txn
+    MemChannelStats stats_;
+    std::uint64_t bank_gap_cycles_ = 0;    //!< turnaround stall cycles
+    mutable StatRegistry::Eraser stat_eraser_;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_MEM_HBM_CHANNEL_HH

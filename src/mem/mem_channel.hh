@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Substrate-independent view of one external-memory channel.
+ *
+ * A channel — DDR4 channel or HBM2 pseudo-channel — owns one
+ * (request, response) queue pair per attached requester port, serializes
+ * bus service, and delivers completions after a loaded latency. The
+ * MemorySystem owns N of these behind an address interleave;
+ * requesters never see which concrete substrate answers them.
+ */
+
+#ifndef GMOMS_MEM_MEM_CHANNEL_HH
+#define GMOMS_MEM_MEM_CHANNEL_HH
+
+#include <cstdint>
+
+#include "src/mem/mem_types.hh"
+#include "src/obs/telemetry.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/timed_queue.hh"
+
+namespace gmoms
+{
+
+/** Counters every channel model maintains (the shape the accelerator's
+ *  RunResult and the benches aggregate over). */
+struct MemChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    std::uint64_t busy_cycles = 0;  //!< cycles the data bus was occupied
+    /** Bus cycles lost to row activations (the stall-attribution
+     *  view of row_misses: cycles, not transaction counts). */
+    std::uint64_t row_miss_penalty_cycles = 0;
+};
+
+/** Abstract channel: what MemorySystem and MemPort require. */
+class MemChannel : public Component
+{
+  public:
+    using Component::Component;
+
+    /** Request queue for requester port @p port. */
+    virtual TimedQueue<MemReq>& reqPort(std::uint32_t port) = 0;
+    /** Response queue for requester port @p port. */
+    virtual TimedQueue<MemResp>& respPort(std::uint32_t port) = 0;
+    virtual std::uint32_t numPorts() const = 0;
+
+    virtual const MemChannelStats& stats() const = 0;
+
+    /** True when no request is queued or in flight. */
+    virtual bool idle() const = 0;
+
+    virtual void registerStats(StatRegistry& reg) const = 0;
+    /** Attach stall channels, series and queue probes to @p tele. */
+    virtual void registerTelemetry(Telemetry& tele) = 0;
+};
+
+} // namespace gmoms
+
+#endif // GMOMS_MEM_MEM_CHANNEL_HH

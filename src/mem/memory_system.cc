@@ -2,30 +2,59 @@
 
 #include <algorithm>
 
+#include "src/mem/dram_channel.hh"
+#include "src/mem/hbm_channel.hh"
 #include "src/sim/log.hh"
 
 namespace gmoms
 {
 
-MemorySystem::MemorySystem(Engine& engine, const DramConfig& cfg,
-                           std::uint32_t num_channels,
+MemorySystem::MemorySystem(Engine& engine, const MemSubstrateConfig& cfg,
                            std::uint32_t num_ports,
                            const std::string& name_prefix,
                            int dram_tick_group)
+    : cfg_(cfg)
 {
-    if (num_channels == 0)
+    if (cfg_.channels == 0)
         fatal("MemorySystem needs at least one channel");
-    channels_.reserve(num_channels);
-    for (std::uint32_t c = 0; c < num_channels; ++c) {
-        channels_.push_back(std::make_unique<DramChannel>(
-            engine, name_prefix + "dram.ch" + std::to_string(c), cfg,
-            num_ports));
+    if (cfg_.interleave_bytes < kLineBytes ||
+        cfg_.interleave_bytes > kInterleaveBytes ||
+        !isPow2(cfg_.interleave_bytes))
+        fatal("MemorySystem interleave must be a power of two in [" +
+              std::to_string(kLineBytes) + ", " +
+              std::to_string(kInterleaveBytes) + "] bytes; got " +
+              std::to_string(cfg_.interleave_bytes));
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+        const std::string name = name_prefix + cfg_.channelName(c);
+        if (cfg_.kind == MemKind::Hbm2)
+            channels_.push_back(std::make_unique<HbmChannel>(
+                engine, name, cfg_.timing, num_ports));
+        else
+            channels_.push_back(std::make_unique<DramChannel>(
+                engine, name, cfg_.timing, num_ports));
         engine.add(channels_.back().get());
         // Channels qualify for parallel ticking: each one touches only
         // its own bank/bus state and the port queues it is the sole
         // registered endpoint of (clients live in other tick groups).
         engine.setTickGroup(channels_.back().get(), dram_tick_group);
     }
+}
+
+MemorySystem::MemorySystem(Engine& engine, const DramConfig& cfg,
+                           std::uint32_t num_channels,
+                           std::uint32_t num_ports,
+                           const std::string& name_prefix,
+                           int dram_tick_group)
+    : MemorySystem(engine,
+                   [&] {
+                       MemSubstrateConfig s =
+                           MemSubstrateConfig::ddr4(num_channels);
+                       s.timing = cfg;
+                       return s;
+                   }(),
+                   num_ports, name_prefix, dram_tick_group)
+{
 }
 
 std::uint64_t
@@ -58,10 +87,11 @@ MemorySystem::idle() const
 bool
 MemPort::send(const MemReq& req)
 {
+    const std::uint32_t il = sys_->cfg_.interleave_bytes;
     const Addr last = req.addr + req.bytes - 1;
-    if (req.addr / kInterleaveBytes != last / kInterleaveBytes)
+    if (req.addr / il != last / il)
         panic("MemPort request crosses interleave boundary; the issuer "
-              "must split bursts at 2048 B");
+              "must split bursts at " + std::to_string(il) + " B");
     return sys_->channels_[sys_->channelOf(req.addr)]
         ->reqPort(port_).push(req);
 }
@@ -70,6 +100,12 @@ bool
 MemPort::canSend(Addr addr) const
 {
     return sys_->channels_[sys_->channelOf(addr)]->reqPort(port_).canPush();
+}
+
+std::uint32_t
+MemPort::interleaveBytes() const
+{
+    return sys_->cfg_.interleave_bytes;
 }
 
 std::optional<MemResp>

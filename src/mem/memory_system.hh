@@ -1,7 +1,11 @@
 /**
  * @file
- * Multi-channel DRAM system with 2048-byte address interleaving and
- * per-requester ports (Section IV-B of the paper).
+ * Multi-channel external memory behind a configurable address
+ * interleave, with per-requester ports (Section IV-B of the paper).
+ *
+ * The substrate is pluggable: a MemSubstrateConfig picks the channel
+ * model (DDR4 channels vs HBM2 pseudo-channels), the channel count and
+ * the interleave granularity. Requesters only ever see MemPort.
  */
 
 #ifndef GMOMS_MEM_MEMORY_SYSTEM_HH
@@ -13,8 +17,9 @@
 #include <vector>
 
 #include "src/mem/backing_store.hh"
-#include "src/mem/dram_channel.hh"
 #include "src/mem/dram_config.hh"
+#include "src/mem/mem_channel.hh"
+#include "src/mem/mem_substrate.hh"
 #include "src/sim/engine.hh"
 
 namespace gmoms
@@ -27,7 +32,8 @@ class MemorySystem;
  *
  * send() routes by address to the owning channel; receive() polls the
  * requester's response queues round-robin. Requests must not cross an
- * interleave boundary — the issuing logic (DMA, MOMS bank) splits there.
+ * interleave boundary — the issuing logic (DMA, MOMS bank) splits at
+ * interleaveBytes().
  */
 class MemPort
 {
@@ -51,6 +57,9 @@ class MemPort
      *  the requester's quiescence check. */
     Cycle responseReadyCycle() const;
 
+    /** Burst-split granularity the requester must respect. */
+    std::uint32_t interleaveBytes() const;
+
     /**
      * Bind @p c as this port's requester for engine wake-ups: @p c is
      * woken when a response arrives on any channel and when a full
@@ -67,20 +76,28 @@ class MemPort
 };
 
 /**
- * The full external memory: N interleaved DDR4 channels plus the
- * functional backing store.
+ * The full external memory: N interleaved channels of the configured
+ * substrate plus the functional backing store.
  */
 class MemorySystem
 {
   public:
     /**
-     * @param num_channels  DDR4 channels (1, 2 or 4 on AWS f1).
+     * @param cfg           substrate: kind, channel count, interleave,
+     *                      per-channel timing.
      * @param num_ports     requester ports replicated on every channel.
      * @param name_prefix   prepended to component names ("b2." for
      *                      cluster board 2; empty single-board).
      * @param dram_tick_group  parallel tick group for the channels
      *                      (cluster boards use per-board groups).
      */
+    MemorySystem(Engine& engine, const MemSubstrateConfig& cfg,
+                 std::uint32_t num_ports,
+                 const std::string& name_prefix = "",
+                 int dram_tick_group = tick_group::kDram);
+
+    /** Convenience: @p num_channels DDR4 channels with @p cfg timing
+     *  at the default 2 KiB interleave (micro tests/benches). */
     MemorySystem(Engine& engine, const DramConfig& cfg,
                  std::uint32_t num_channels, std::uint32_t num_ports,
                  const std::string& name_prefix = "",
@@ -91,7 +108,7 @@ class MemorySystem
     channelOf(Addr addr) const
     {
         return static_cast<std::uint32_t>(
-            (addr / kInterleaveBytes) % channels_.size());
+            (addr / cfg_.interleave_bytes) % channels_.size());
     }
 
     MemPort port(std::uint32_t p) { return MemPort(this, p); }
@@ -101,8 +118,15 @@ class MemorySystem
         return static_cast<std::uint32_t>(channels_.size());
     }
 
-    DramChannel& channel(std::uint32_t c) { return *channels_[c]; }
-    const DramChannel& channel(std::uint32_t c) const
+    std::uint32_t interleaveBytes() const
+    {
+        return cfg_.interleave_bytes;
+    }
+
+    const MemSubstrateConfig& substrate() const { return cfg_; }
+
+    MemChannel& channel(std::uint32_t c) { return *channels_[c]; }
+    const MemChannel& channel(std::uint32_t c) const
     {
         return *channels_[c];
     }
@@ -117,7 +141,8 @@ class MemorySystem
     bool idle() const;
 
   private:
-    std::vector<std::unique_ptr<DramChannel>> channels_;
+    MemSubstrateConfig cfg_;
+    std::vector<std::unique_ptr<MemChannel>> channels_;
     BackingStore store_;
 
     friend class MemPort;

@@ -46,6 +46,10 @@ prepByName(const std::string& name)
         return Preprocessing::Dbg;
     if (name == "dbg+hash")
         return Preprocessing::DbgHash;
+    if (name == "packed")
+        return Preprocessing::Packed;
+    if (name == "dbg+hash+packed")
+        return Preprocessing::DbgHashPacked;
     return std::nullopt;
 }
 
@@ -123,7 +127,8 @@ decodeSubmit(const JsonValue& obj, Request& req,
     const std::optional<Preprocessing> p = prepByName(prep);
     if (!p)
         problems.push_back("unknown preprocessing \"" + prep +
-                           "\" (none, hash, dbg, dbg+hash)");
+                           "\" (none, hash, dbg, dbg+hash, packed, "
+                           "dbg+hash+packed)");
     else
         spec.prep = *p;
 }

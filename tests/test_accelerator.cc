@@ -23,7 +23,7 @@ smallConfig(std::uint32_t pes = 4, std::uint32_t channels = 2,
 {
     AccelConfig cfg;
     cfg.num_pes = pes;
-    cfg.num_channels = channels;
+    cfg.mem.channels = channels;
     cfg.moms = moms;
     cfg.moms.shared_bank.num_mshrs = 128;
     cfg.moms.shared_bank.num_subentries = 2048;

@@ -143,7 +143,7 @@ TEST(DynaBurstIntegration, AcceleratorStaysCorrectWithDynaBurst)
     AlgoSpec spec = AlgoSpec::scc(g.numNodes());
     AccelConfig cfg;
     cfg.num_pes = 4;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = MomsConfig::twoLevel(4);
     cfg.moms.dynaburst = true;
     PartitionedGraph pg(g, 256, 512);

@@ -157,8 +157,8 @@ TEST(Fingerprint, SeparatesResultRelevantConfigs)
         EXPECT_NE(configFingerprint(cfg), h) << what;
     };
     differs([](AccelConfig& c) { c.num_pes = 8; }, "num_pes");
-    differs([](AccelConfig& c) { c.num_channels = 4; },
-            "num_channels");
+    differs([](AccelConfig& c) { c.mem.channels = 4; },
+            "mem.channels");
     differs([](AccelConfig& c) { c.max_cycles /= 2; }, "max_cycles");
     differs([](AccelConfig& c) { c.moms.num_shared_banks = 2; },
             "num_shared_banks");
@@ -166,7 +166,7 @@ TEST(Fingerprint, SeparatesResultRelevantConfigs)
             "cache_bytes");
     differs([](AccelConfig& c) { c.moms.crossing_latency += 1; },
             "crossing_latency");
-    differs([](AccelConfig& c) { c.dram.load_latency_cycles += 1; },
+    differs([](AccelConfig& c) { c.mem.timing.load_latency_cycles += 1; },
             "load_latency");
     differs([](AccelConfig& c) { c.telemetry.enabled = true; },
             "telemetry.enabled");

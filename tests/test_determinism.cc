@@ -26,7 +26,7 @@ runOnce(const CooGraph& g, Algorithm algo)
                         : AlgoSpec::scc(g.numNodes(), 4);
     AccelConfig cfg;
     cfg.num_pes = 4;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = MomsConfig::twoLevel(4);
     PartitionedGraph pg(g, 256, 512);
     Accelerator accel(cfg, pg, spec);

@@ -405,7 +405,7 @@ smallConfig(MomsConfig moms)
 {
     AccelConfig cfg;
     cfg.num_pes = 4;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = moms;
     return cfg;
 }

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Packed half-word CSR: encoder round-trip against the shard edge
+ * lists, size advantage over the plain 32-bit encoding, silent
+ * fallback on ineligible partitions, and end-to-end value identity
+ * (plain vs packed, engine modes, tick threads, session wiring).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/accel/accelerator.hh"
+#include "src/accel/session.hh"
+#include "src/algo/golden.hh"
+#include "src/graph/generator.hh"
+#include "src/graph/layout.hh"
+#include "src/graph/reorder.hh"
+#include "src/mem/backing_store.hh"
+
+namespace gmoms
+{
+namespace
+{
+
+GraphLayout::Options
+opts(bool packed)
+{
+    GraphLayout::Options o;
+    o.packed = packed;
+    o.init_value = [](NodeId) { return 0u; };
+    return o;
+}
+
+/** Decode the packed edge section of @p layout back into per-shard
+ *  (src, dst, weight) lists, walking exactly like the PE does. */
+std::vector<Edge>
+decodePacked(const GraphLayout& layout, const BackingStore& store,
+             const PartitionedGraph& pg, std::uint32_t s,
+             std::uint32_t d)
+{
+    const std::uint64_t p = store.read64(layout.ptrAddr(s, d));
+    const Addr base = 4 * edgeptr::startWord(p);
+    const std::uint64_t halves = 2 * edgeptr::sizeWords(p);
+    const auto half = [&](std::uint64_t h) {
+        const std::uint32_t w = store.read32(base + 4 * (h / 2));
+        return static_cast<std::uint16_t>(h % 2 ? w >> 16
+                                                : w & 0xffffu);
+    };
+    std::vector<Edge> out;
+    std::uint32_t open_dst = 0;
+    bool has_dst = false;
+    for (std::uint64_t h = 0; h < halves;) {
+        const std::uint16_t hw = half(h);
+        if (packedcsr::isPad(hw)) {
+            ++h;
+            continue;
+        }
+        if (packedcsr::isSelector(hw)) {
+            // Lines must be self-contained: a line never opens with a
+            // source half-word.
+            open_dst = packedcsr::dstOff(hw);
+            has_dst = true;
+            ++h;
+            continue;
+        }
+        EXPECT_TRUE(has_dst);
+        if (h % packedcsr::kHalfwordsPerLine == 0)
+            ADD_FAILURE() << "line opened with a source half-word";
+        Edge e;
+        e.src = static_cast<NodeId>(s) * pg.ns() + packedcsr::srcOff(hw);
+        e.dst = pg.dstIntervalBase(d) + open_dst;
+        ++h;
+        if (pg.weighted()) {
+            e.weight = half(h);
+            ++h;
+        }
+        out.push_back(e);
+        // The self-containment invariant: a (source, weight) pair
+        // never splits across lines, which the cursor walk above
+        // implicitly checks by reading the weight without a line test.
+    }
+    return out;
+}
+
+void
+expectRoundTrip(const CooGraph& g, std::uint32_t nd, std::uint32_t ns)
+{
+    const PartitionedGraph pg(g, nd, ns);
+    GraphLayout layout(pg, opts(true));
+    ASSERT_TRUE(layout.packed());
+    BackingStore store;
+    layout.build(pg, store);
+
+    auto key = [](const Edge& e) {
+        return std::make_tuple(e.dst, e.src, e.weight);
+    };
+    for (std::uint32_t d = 0; d < pg.qd(); ++d) {
+        for (std::uint32_t s = 0; s < pg.qs(); ++s) {
+            std::vector<Edge> got =
+                decodePacked(layout, store, pg, s, d);
+            const auto span = pg.shardEdges(s, d);
+            std::vector<Edge> want(span.begin(), span.end());
+            ASSERT_EQ(got.size(), want.size())
+                << "shard s=" << s << " d=" << d;
+            // The packed encoder reorders within the shard ((dst, src)
+            // sort) — compare as sorted lists.
+            auto lt = [&](const Edge& a, const Edge& b) {
+                return key(a) < key(b);
+            };
+            std::sort(got.begin(), got.end(), lt);
+            std::sort(want.begin(), want.end(), lt);
+            for (std::size_t i = 0; i < got.size(); ++i)
+                EXPECT_EQ(key(got[i]), key(want[i]))
+                    << "shard s=" << s << " d=" << d << " edge " << i;
+        }
+    }
+}
+
+TEST(PackedCsr, RoundTripUnweighted)
+{
+    expectRoundTrip(rmat(11, 20000, RmatParams{}, 7), 512, 1024);
+}
+
+TEST(PackedCsr, RoundTripWeighted)
+{
+    CooGraph g = uniformRandom(3000, 25000, 13);
+    addRandomWeights(g, 99);
+    expectRoundTrip(g, 256, 512);
+}
+
+TEST(PackedCsr, RoundTripTinyAndSkewed)
+{
+    // Degenerate shapes: single-node star (max dst amortization) and a
+    // chain (selector per edge, worst case).
+    CooGraph star(64);
+    for (NodeId i = 1; i < 64; ++i)
+        star.addEdge(i, 0);
+    expectRoundTrip(star, 32, 64);
+
+    CooGraph chain(100);
+    for (NodeId i = 0; i + 1 < 100; ++i)
+        chain.addEdge(i, i + 1);
+    expectRoundTrip(chain, 32, 32);
+}
+
+TEST(PackedCsr, ShrinksTheEdgeSection)
+{
+    // Clustered in-edges (rmat) amortize selectors: the packed section
+    // must be meaningfully under the plain one (2 B vs 4 B per edge
+    // before selector overhead).
+    const CooGraph g = rmat(12, 60000, RmatParams{}, 21);
+    const PartitionedGraph pg(g, 1024, 2048);
+    GraphLayout plain(pg, opts(false));
+    GraphLayout packed(pg, opts(true));
+    ASSERT_TRUE(packed.packed());
+    EXPECT_FALSE(plain.packed());
+    EXPECT_LT(packed.edgeSectionBytes(),
+              (plain.edgeSectionBytes() * 3) / 4);
+}
+
+TEST(PackedCsr, FallsBackOnOversizedWeights)
+{
+    CooGraph g(128);
+    for (NodeId i = 0; i + 1 < 128; ++i)
+        g.addEdge(i, i + 1);
+    addRandomWeights(g, 3);
+    g.edges()[5].weight = 0x10000;  // one 17-bit weight poisons it
+    const PartitionedGraph pg(g, 64, 128);
+    GraphLayout layout(pg, opts(true));
+    EXPECT_FALSE(layout.packed());  // silent fallback to plain
+    // The plain encoding carries the full 32-bit weight.
+    BackingStore store;
+    layout.build(pg, store);
+    const PartitionedGraph pg2(g, 64, 128);
+    GraphLayout plain(pg2, opts(false));
+    EXPECT_EQ(layout.edgeSectionBytes(), plain.edgeSectionBytes());
+}
+
+TEST(PackedCsr, FallsBackOnWideIntervals)
+{
+    CooGraph g(8);
+    g.addEdge(0, 1);
+    // nd > 32767 would collide with the all-ones pad half-word.
+    const PartitionedGraph wide(g, 8, 8);
+    GraphLayout l(wide, opts(true));
+    EXPECT_TRUE(l.packed());  // small intervals are fine
+
+    // Selector construction itself: the maximum legal dst_off still
+    // stays clear of the pad encoding.
+    EXPECT_NE(packedcsr::selector(32766), packedcsr::kPad);
+    EXPECT_TRUE(packedcsr::isSelector(packedcsr::selector(0)));
+    EXPECT_FALSE(packedcsr::isSelector(packedcsr::source(32767)));
+}
+
+// --- end-to-end ---------------------------------------------------------
+
+RunResult
+runAccel(const CooGraph& g, const AlgoSpec& spec, bool packed,
+         bool full_tick = false, unsigned tick_threads = 0)
+{
+    AccelConfig cfg;
+    cfg.num_pes = 4;
+    cfg.mem.channels = 2;
+    cfg.moms = MomsConfig::twoLevel(4);
+    cfg.packed_edges = packed;
+    cfg.full_tick_engine = full_tick;
+    cfg.tick_threads = tick_threads;
+    PartitionedGraph pg(g, 256, 512);
+    Accelerator accel(cfg, pg, spec);
+    return accel.run();
+}
+
+TEST(PackedCsrEndToEnd, SccValuesIdenticalToPlain)
+{
+    const CooGraph g = rmat(10, 9000, RmatParams{}, 31);
+    const AlgoSpec spec = AlgoSpec::scc(g.numNodes(), 5);
+    const RunResult plain = runAccel(g, spec, false);
+    const RunResult packed = runAccel(g, spec, true);
+    // SCC is asynchronous: packing regroups edges by destination, so
+    // the label-propagation trajectory (and edges_processed) may
+    // differ — the converged fixpoint may not.
+    EXPECT_EQ(plain.raw_values, packed.raw_values);
+    // The packed run must actually read fewer edge bytes.
+    EXPECT_LT(packed.dram_bytes_read, plain.dram_bytes_read);
+}
+
+TEST(PackedCsrEndToEnd, PageRankStaysWithinGoldenTolerance)
+{
+    // PageRank's timed values are f32 sums in MOMS arrival order (see
+    // test_cluster.cc), so plain and packed may differ in the last
+    // ulp; both must sit inside the golden tolerance the plain
+    // encoding is held to.
+    const CooGraph g = uniformRandom(1200, 10000, 41);
+    const AlgoSpec spec = AlgoSpec::pageRank(g, 3);
+    const RunResult plain = runAccel(g, spec, false);
+    const RunResult packed = runAccel(g, spec, true);
+    const std::vector<double> golden = goldenPageRank(g, 3);
+    for (NodeId i = 0; i < g.numNodes(); ++i) {
+        const double a = spec.finalValue(plain.raw_values[i], i);
+        const double b = spec.finalValue(packed.raw_values[i], i);
+        EXPECT_NEAR(b, golden[i], 2e-4 * golden[i] + 1e-8)
+            << "node " << i;
+        EXPECT_NEAR(a, b, 1e-5 * golden[i] + 1e-9) << "node " << i;
+    }
+}
+
+TEST(PackedCsrEndToEnd, SsspWeightedIdenticalToPlain)
+{
+    // Run to convergence: mid-flight asynchronous distances depend on
+    // gather order, the fixpoint does not.
+    CooGraph g = uniformRandom(800, 7000, 51);
+    addRandomWeights(g, 8);
+    const AlgoSpec spec = AlgoSpec::sssp(0, 64);
+    const RunResult plain = runAccel(g, spec, false);
+    const RunResult packed = runAccel(g, spec, true);
+    EXPECT_EQ(plain.raw_values, packed.raw_values);
+}
+
+TEST(PackedCsrEndToEnd, EngineModesAndTickThreadsBitExact)
+{
+    const CooGraph g = rmat(10, 7000, RmatParams{}, 61);
+    const AlgoSpec spec = AlgoSpec::scc(g.numNodes(), 4);
+    const RunResult base = runAccel(g, spec, true, false, 1);
+    const RunResult full = runAccel(g, spec, true, true, 1);
+    EXPECT_EQ(base.cycles, full.cycles);
+    EXPECT_EQ(base.raw_values, full.raw_values);
+    EXPECT_EQ(base.dram_bytes_read, full.dram_bytes_read);
+    for (unsigned threads : {2u, 4u}) {
+        const RunResult par = runAccel(g, spec, true, false, threads);
+        EXPECT_EQ(base.cycles, par.cycles)
+            << "tick_threads=" << threads;
+        EXPECT_EQ(base.raw_values, par.raw_values)
+            << "tick_threads=" << threads;
+    }
+}
+
+TEST(PackedCsrEndToEnd, SessionPreprocessingVariants)
+{
+    // Preprocessing::Packed = identity relabeling + packed layout; the
+    // values must match prep None exactly. Same for the DbgHash pair
+    // (both relabel identically, so internal id spaces coincide).
+    CooGraph g = rmat(10, 8000, RmatParams{}, 71);
+    auto run = [&](Preprocessing p) {
+        return SessionBuilder()
+            .datasetView(g)
+            .preprocessing(p)
+            .algo("SCC")
+            .iterations(20)
+            .run();
+    };
+    const SessionResult none = run(Preprocessing::None);
+    const SessionResult packed = run(Preprocessing::Packed);
+    EXPECT_EQ(none.values, packed.values);
+
+    const SessionResult dh = run(Preprocessing::DbgHash);
+    const SessionResult dhp = run(Preprocessing::DbgHashPacked);
+    EXPECT_EQ(dh.values, dhp.values);
+}
+
+TEST(PackedCsr, PreprocessingPlumbing)
+{
+    EXPECT_STREQ(preprocessingName(Preprocessing::Packed), "packed");
+    EXPECT_STREQ(preprocessingName(Preprocessing::DbgHashPacked),
+                 "dbg+hash+packed");
+    EXPECT_TRUE(packedCsr(Preprocessing::Packed));
+    EXPECT_TRUE(packedCsr(Preprocessing::DbgHashPacked));
+    EXPECT_FALSE(packedCsr(Preprocessing::DbgHash));
+    EXPECT_EQ(basePreprocessing(Preprocessing::Packed),
+              Preprocessing::None);
+    EXPECT_EQ(basePreprocessing(Preprocessing::DbgHashPacked),
+              Preprocessing::DbgHash);
+    EXPECT_EQ(basePreprocessing(Preprocessing::Hash),
+              Preprocessing::Hash);
+}
+
+} // namespace
+} // namespace gmoms

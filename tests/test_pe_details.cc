@@ -22,7 +22,7 @@ tinyConfig()
 {
     AccelConfig cfg;
     cfg.num_pes = 2;
-    cfg.num_channels = 1;
+    cfg.mem.channels = 1;
     cfg.moms = MomsConfig::twoLevel(1);
     return cfg;
 }
@@ -177,7 +177,7 @@ TEST(PeDetails, EveryPeReportsBalancedBusyWork)
     AlgoSpec scc = AlgoSpec::scc(g.numNodes(), 2);
     AccelConfig cfg;
     cfg.num_pes = 8;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = MomsConfig::twoLevel(8);
     PartitionedGraph pg(g, 256, 512);
     Accelerator accel(cfg, pg, scc);

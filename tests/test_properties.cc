@@ -135,7 +135,7 @@ TEST_P(TinyStructures, AcceleratorStaysCorrectUnderExtremePressure)
 
     AccelConfig cfg;
     cfg.num_pes = 4;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = MomsConfig::twoLevel(2);
     for (MomsBankConfig* b :
          {&cfg.moms.shared_bank, &cfg.moms.private_bank}) {
@@ -182,7 +182,7 @@ TEST_P(SeedSweep, TimedSsspMatchesGolden)
     AlgoSpec spec = AlgoSpec::sssp(static_cast<NodeId>(GetParam() % 600));
     AccelConfig cfg;
     cfg.num_pes = 4;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = MomsConfig::twoLevel(4);
     PartitionedGraph pg(g, 128, 256);
     Accelerator accel(cfg, pg, spec);
@@ -205,7 +205,7 @@ TEST(Properties, EmptyEdgeSetConvergesImmediately)
     PartitionedGraph pg(g, 64, 128);
     AccelConfig cfg;
     cfg.num_pes = 2;
-    cfg.num_channels = 1;
+    cfg.mem.channels = 1;
     cfg.moms = MomsConfig::twoLevel(1);
     Accelerator accel(cfg, pg, spec);
     RunResult res = accel.run();

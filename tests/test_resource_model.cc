@@ -19,7 +19,7 @@ config(std::uint32_t pes, std::uint32_t channels, MomsConfig moms)
 {
     AccelConfig cfg;
     cfg.num_pes = pes;
-    cfg.num_channels = channels;
+    cfg.mem.channels = channels;
     cfg.moms = std::move(moms);
     return cfg;
 }

@@ -110,7 +110,7 @@ TEST(PeLoadBalance, DynamicPullsBalanceSkewedJobs)
     AlgoSpec spec = AlgoSpec::scc(g.numNodes(), 2);
     AccelConfig cfg;
     cfg.num_pes = 8;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = MomsConfig::twoLevel(8);
     cfg.nd = nd;
     cfg.ns = ns;

@@ -50,7 +50,7 @@ runJob(const SweepJob& j)
 {
     AccelConfig cfg;
     cfg.num_pes = j.pes;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = MomsConfig::twoLevel(j.banks);
     return runOn(*loadDataset("WT"), j.algo, cfg);
 }

@@ -157,7 +157,7 @@ smallConfig(MomsConfig moms)
 {
     AccelConfig cfg;
     cfg.num_pes = 4;
-    cfg.num_channels = 2;
+    cfg.mem.channels = 2;
     cfg.moms = moms;
     cfg.moms.shared_bank.num_mshrs = 128;
     cfg.moms.shared_bank.num_subentries = 2048;

@@ -84,7 +84,7 @@ TEST(TemplateSemantics, TimedAcceleratorSkipsInactiveShards)
     AlgoSpec sssp = AlgoSpec::sssp(0, 1000);
     AccelConfig cfg;
     cfg.num_pes = 2;
-    cfg.num_channels = 1;
+    cfg.mem.channels = 1;
     cfg.moms = MomsConfig::twoLevel(1);
     PartitionedGraph pg(g, 128, 256);
     Accelerator accel(cfg, pg, sssp);

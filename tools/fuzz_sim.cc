@@ -143,7 +143,13 @@ drawConfig(std::mt19937_64& rng, const Options& opts,
     static const std::uint32_t kInitLines[] = {1, 4, 32};
     static const std::uint32_t kNodesPerCycle[] = {1, 4};
 
-    const std::uint32_t channels = pick(rng, kChannels);
+    // A quarter of the draws run on the HBM2 pseudo-channel substrate
+    // (narrow buses, fine interleave): the functional plane must not
+    // notice, so the engine-mode and golden oracles apply unchanged.
+    static const std::uint32_t kPseudoChannels[] = {2, 4, 8};
+    const bool hbm = rng() % 4 == 0;
+    const std::uint32_t channels =
+        hbm ? pick(rng, kPseudoChannels) : pick(rng, kChannels);
     const std::uint32_t banks = channels * pick(rng, kBankMult);
     MomsConfig moms;
     const char* shape;
@@ -173,6 +179,8 @@ drawConfig(std::mt19937_64& rng, const Options& opts,
 
     AccelConfig cfg = AccelConfig::preset(std::move(moms),
                                           pick(rng, kPes), channels);
+    if (hbm)
+        cfg.mem = MemSubstrateConfig::hbm2(channels);
     cfg.max_threads = pick(rng, kThreads);
     cfg.edge_burst_lines = pick(rng, kBurstLines);
     cfg.max_edge_bursts = pick(rng, kBursts);
@@ -212,8 +220,9 @@ drawConfig(std::mt19937_64& rng, const Options& opts,
     }
 
     char buf[96];
-    std::snprintf(buf, sizeof(buf), "%s %u pe / %u ch / %u banks",
-                  shape, cfg.num_pes, cfg.num_channels, banks);
+    std::snprintf(buf, sizeof(buf), "%s %u pe / %u %s / %u banks",
+                  shape, cfg.num_pes, cfg.mem.channels,
+                  hbm ? "pc-hbm" : "ch-ddr4", banks);
     *desc = buf;
     if (cfg.cluster.enabled()) {
         std::snprintf(buf, sizeof(buf), " x %u boards (%s, %s)",
@@ -247,7 +256,20 @@ runOne(std::uint64_t seed, const Options& opts)
     if (algo == "SSSP")
         addRandomWeights(g, rng());  // session uses the graph's weights
 
+    // A quarter of the draws stream the packed half-word CSR. The base
+    // relabeling stays identity, so the golden oracles compare in the
+    // external id space exactly as for the plain encoding.
+    const Preprocessing prep =
+        rng() % 4 == 0 ? Preprocessing::Packed : Preprocessing::None;
+    if (prep == Preprocessing::Packed)
+        cfg_desc += " packed";
+
     cfg.validate();  // the draw must only ever produce legal configs
+    if (std::getenv("FUZZ_VERBOSE"))
+        std::fprintf(stderr, "seed %llu: %s | %s | %s\n",
+                     static_cast<unsigned long long>(seed),
+                     graph_desc.c_str(), cfg_desc.c_str(),
+                     algo.c_str());
 
     auto fail = [&](const std::string& what) {
         std::fprintf(stderr,
@@ -266,6 +288,7 @@ runOne(std::uint64_t seed, const Options& opts)
         return SessionBuilder()
             .datasetView(g)
             .config(mode_cfg)
+            .preprocessing(prep)
             .algo(algo)
             .iterations(algo == "PageRank" ? 3 : 1000)
             .source(source)
